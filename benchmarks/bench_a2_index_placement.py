@@ -1,0 +1,83 @@
+"""A5 — data structures spanning tiers (Sec 3.1 research question).
+
+"Should data structures span conventional and CXL memory?" Measured
+answer: a B+tree with inner levels in DRAM and leaves in CXL pays a
+fraction of the all-CXL lookup penalty while occupying a rounding
+error of DRAM — the hybrid dominates whenever DRAM is scarce.
+"""
+
+from repro import config
+from repro.core.btree import TieredBTree
+from repro.core.buffer import Tier, TieredBufferPool
+from repro.core.placement import StaticPolicy
+from repro.metrics.report import Table
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+
+KEYS = 200_000
+PROBES = 2_000
+
+
+def make_pool(classifier):
+    tiers = [
+        Tier("dram", AccessPath(device=MemoryDevice(config.local_ddr5())),
+             8_192),
+        Tier("cxl", AccessPath(
+            device=MemoryDevice(config.cxl_expander_ddr5()),
+            links=(Link(config.cxl_port()),)), 8_192),
+    ]
+    return TieredBufferPool(tiers=tiers,
+                            placement=StaticPolicy(classifier))
+
+
+def measure(classifier_factory):
+    items = [(key, key) for key in range(KEYS)]
+    shape_tree = TieredBTree.bulk_build(make_pool(lambda _p: 1), items,
+                                        first_page_id=0)
+    pool = make_pool(classifier_factory(shape_tree))
+    tree = TieredBTree.bulk_build(pool, items, first_page_id=0)
+    for key in range(0, KEYS, 61):  # warm every page
+        tree.lookup(key)
+    start = pool.clock.now
+    step = KEYS // PROBES
+    for key in range(0, KEYS, step):
+        tree.lookup(key)
+    mean_ns = (pool.clock.now - start) / PROBES
+    return mean_ns, tree, pool
+
+
+def run_experiment(show=False):
+    results = {}
+    dram_pages = {}
+    for name, factory in (
+        ("all-DRAM", lambda _t: (lambda _p: 0)),
+        ("hybrid (inner DRAM)", lambda tree: tree.page_classifier(0, 1)),
+        ("all-CXL", lambda _t: (lambda _p: 1)),
+    ):
+        mean_ns, tree, pool = measure(factory)
+        results[name] = mean_ns
+        dram_pages[name] = pool.tier_residents(0)
+
+    table = Table("A5: B+tree lookup by node placement (Sec 3.1)", [
+        "placement", "mean lookup", "DRAM pages held",
+        "penalty vs all-DRAM",
+    ])
+    base = results["all-DRAM"]
+    for name, mean_ns in results.items():
+        table.add_row(name, f"{mean_ns:.0f} ns", dram_pages[name],
+                      f"{mean_ns / base - 1:+.0%}")
+    if show:
+        table.show()
+    return results, dram_pages
+
+
+def test_a5_index_placement(benchmark):
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    results, dram_pages = run_experiment(show=True)
+    dram = results["all-DRAM"]
+    hybrid = results["hybrid (inner DRAM)"]
+    cxl = results["all-CXL"]
+    assert dram < hybrid < cxl
+    assert (hybrid - dram) < 0.5 * (cxl - dram)
+    assert dram_pages["hybrid (inner DRAM)"] < \
+        dram_pages["all-DRAM"] / 20

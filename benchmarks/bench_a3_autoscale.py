@@ -1,0 +1,58 @@
+"""A6 — dynamic multiprogramming over pooled memory (Sec 3.2).
+
+"How would an engine operate under a dynamically changing
+multiprogramming level?" — a bursty query stream served by:
+
+* a fixed fleet provisioned for the peak (zero waits, maximum cost);
+* a warm autoscaler (CXL-pooled buffer: spawned engines are at full
+  speed in ~200 us);
+* a cold autoscaler (local buffer pools: spawned engines ramp while
+  faulting their working set in).
+
+Warm elasticity buys most of the fixed fleet's latency at a fraction
+of its engine-time; cold elasticity is strictly worse than warm on
+both axes — the pooled buffer is what makes elasticity usable.
+"""
+
+from repro.core.autoscale import Autoscaler, bursty_jobs
+from repro.metrics.report import Table
+from repro.units import fmt_ns
+
+MAX_WORKERS = 16
+
+
+def run_experiment(show=False):
+    results = {}
+    for mode, kwargs in (
+        ("fixed", dict(max_workers=MAX_WORKERS)),
+        ("warm", dict(min_workers=2, max_workers=MAX_WORKERS)),
+        ("cold", dict(min_workers=2, max_workers=MAX_WORKERS)),
+    ):
+        scaler = Autoscaler(mode=mode, **kwargs)
+        results[mode] = scaler.run(bursty_jobs())
+
+    table = Table("A6: autoscaling under a bursty load (Sec 3.2)", [
+        "fleet", "p95 wait", "mean wait", "engine-seconds",
+        "spawns", "peak engines",
+    ])
+    for mode, report in results.items():
+        table.add_row(
+            mode,
+            fmt_ns(report.p95_wait_ns),
+            fmt_ns(report.mean_wait_ns),
+            f"{report.engine_seconds:.4f}",
+            report.spawns,
+            report.peak_workers,
+        )
+    if show:
+        table.show()
+    return results
+
+
+def test_a6_autoscale(benchmark):
+    benchmark(run_experiment)
+    results = run_experiment(show=True)
+    fixed, warm, cold = (results[m] for m in ("fixed", "warm", "cold"))
+    assert warm.engine_seconds < 0.6 * fixed.engine_seconds
+    assert warm.p95_wait_ns < cold.p95_wait_ns
+    assert warm.engine_seconds <= cold.engine_seconds

@@ -1,0 +1,123 @@
+"""A10 — OLTP/OLAP bandwidth interference on expanders (Sec 3.1).
+
+"Are memory expanders fast enough for OLTP or will they be suitable
+mainly for OLAP? Can they be used to perform both on the same machine
+and what are the implications?"
+
+Concurrent point-lookup threads share one expander with scanning
+threads that issue 64 KiB readahead requests. The scan streams
+saturate the expander channel and inflate point-lookup tail latency;
+giving the analytical data its *own* expander (two-device HTAP
+isolation — the capacity-level isolation of E5 taken down to the
+bandwidth level) restores the tail.
+"""
+
+import random
+
+from repro import config
+from repro.core import ScaleUpEngine, StaticPolicy
+from repro.core.buffer import Tier, TieredBufferPool
+from repro.metrics.report import Table
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.units import fmt_ns
+from repro.workloads import Access
+
+OLTP_PAGES = 1_000
+OLAP_PAGES = 4_000
+POINT_THREADS = 2
+SCAN_THREADS = 4
+
+
+def point_trace(seed, ops=2_000):
+    rng = random.Random(seed)
+    return [Access(page_id=rng.randrange(OLTP_PAGES), think_ns=150.0)
+            for _ in range(ops)]
+
+
+def readahead_scan(repeats=4, chunk_pages=16):
+    out = []
+    for _ in range(repeats):
+        for start in range(0, OLAP_PAGES, chunk_pages):
+            out.append(Access(
+                page_id=OLTP_PAGES + start, is_scan=True,
+                nbytes=chunk_pages * 4096, think_ns=0.0,
+            ))
+    return out
+
+
+def one_expander_engine():
+    engine = ScaleUpEngine.build(
+        dram_pages=1, cxl_pages=OLTP_PAGES + OLAP_PAGES + 16,
+        placement=StaticPolicy(lambda _p: 1), with_storage=False,
+    )
+    for page in range(OLTP_PAGES + OLAP_PAGES):
+        engine.pool.access(page)
+    return engine
+
+
+def two_expander_engine():
+    tiers = [
+        Tier("dram", AccessPath(
+            device=MemoryDevice(config.local_ddr5())), 1),
+        Tier("cxl-oltp", AccessPath(
+            device=MemoryDevice(config.cxl_expander_ddr5(),
+                                name="oltp-exp"),
+            links=(Link(config.cxl_port()),)), OLTP_PAGES + 8),
+        Tier("cxl-olap", AccessPath(
+            device=MemoryDevice(config.cxl_expander_ddr5(),
+                                name="olap-exp"),
+            links=(Link(config.cxl_port()),)), OLAP_PAGES + 8),
+    ]
+    pool = TieredBufferPool(
+        tiers=tiers,
+        placement=StaticPolicy(lambda p: 1 if p < OLTP_PAGES else 2),
+    )
+    engine = ScaleUpEngine(pool)
+    for page in range(OLTP_PAGES + OLAP_PAGES):
+        pool.access(page)
+    return engine
+
+
+def run_experiment(show=False):
+    point_ids = tuple(range(POINT_THREADS))
+
+    quiet = one_expander_engine()
+    alone = quiet.run_concurrent(
+        [point_trace(s) for s in range(POINT_THREADS)])
+
+    shared = one_expander_engine()
+    mixed_shared = shared.run_concurrent(
+        [point_trace(s) for s in range(POINT_THREADS)]
+        + [readahead_scan() for _ in range(SCAN_THREADS)])
+
+    isolated = two_expander_engine()
+    mixed_isolated = isolated.run_concurrent(
+        [point_trace(s) for s in range(POINT_THREADS)]
+        + [readahead_scan() for _ in range(SCAN_THREADS)])
+
+    rows = [
+        ("OLTP alone", alone),
+        ("OLTP + scans, one expander", mixed_shared),
+        ("OLTP + scans, two expanders", mixed_isolated),
+    ]
+    table = Table("A10: expander bandwidth interference (Sec 3.1)", [
+        "configuration", "OLTP p95 latency", "vs alone",
+    ])
+    base = alone.p95_for(point_ids)
+    for name, report in rows:
+        p95 = report.p95_for(point_ids)
+        table.add_row(name, fmt_ns(p95), f"{p95 / base:.2f}x")
+    if show:
+        table.show()
+    return (alone.p95_for(point_ids),
+            mixed_shared.p95_for(point_ids),
+            mixed_isolated.p95_for(point_ids))
+
+
+def test_a10_bandwidth_interference(benchmark):
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    alone, shared, isolated = run_experiment(show=True)
+    assert shared > 1.3 * alone          # scans hurt the OLTP tail
+    assert isolated < 0.8 * shared       # a second expander fixes it
+    assert isolated < 1.3 * alone        # ...nearly back to baseline

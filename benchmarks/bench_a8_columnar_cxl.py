@@ -1,0 +1,92 @@
+"""A11 — specialized analytical structures in CXL memory (Sec 3.1).
+
+"The data structures in the CXL memory could be specialized ones,
+such as data cubes, materialized tables, denormalized tables." The
+simplest specialized structure is a column store: scanning k of N
+columns moves k/N of the bytes, so the CXL bandwidth tax shrinks with
+the projection — while a row store drags every byte across the fabric
+regardless.
+"""
+
+from repro.core import ScaleUpEngine, StaticPolicy
+from repro.metrics.report import Table as ReportTable
+from repro.query.columnar import ColumnScan, ColumnTable
+from repro.query.operators import TableScan, collect
+from repro.query.schema import Column, ColumnType, Schema
+from repro.query.table import Table
+from repro.storage.disk import StorageDevice
+from repro.storage.file import PageFile
+
+SCHEMA = Schema([
+    Column("id"), Column("a", ColumnType.FLOAT),
+    Column("b", ColumnType.FLOAT), Column("c", ColumnType.STR),
+    Column("d", ColumnType.STR), Column("e", ColumnType.DATE),
+])
+ROWS = 30_000
+
+
+def build(cxl: bool):
+    pf = PageFile(StorageDevice())
+    col = ColumnTable("col", SCHEMA, pf)
+    row = Table("row", SCHEMA, pf)
+    data = [
+        (i, float(i), float(i) * 2, f"c{i}", f"d{i}", i % 365)
+        for i in range(ROWS)
+    ]
+    col.bulk_load(data)
+    row.bulk_load(data)
+    pages = col.total_pages + row.page_count + 16
+    if cxl:
+        engine = ScaleUpEngine.build(
+            dram_pages=1, cxl_pages=pages,
+            placement=StaticPolicy(lambda _p: 1), backing=pf,
+        )
+    else:
+        engine = ScaleUpEngine.build(dram_pages=pages, backing=pf)
+    # Warm everything.
+    collect(ColumnScan(col, SCHEMA.names), engine)
+    collect(TableScan(row), engine)
+    return engine, col, row
+
+
+def run_experiment(show=False):
+    table = ReportTable(
+        "A11: row vs column scans, DRAM vs CXL (Sec 3.1)", [
+            "projection", "layout", "DRAM scan", "CXL scan",
+            "CXL overhead",
+        ])
+    results = {}
+    for projection in (["a"], ["a", "b"], SCHEMA.names):
+        label = f"{len(projection)}/{len(SCHEMA.names)} columns"
+        times = {}
+        for cxl in (False, True):
+            engine, col, row = build(cxl)
+            _r, t_col = collect(ColumnScan(col, projection), engine)
+            _r, t_row = collect(
+                TableScan(row, projection=projection), engine)
+            times[("col", cxl)] = t_col
+            times[("row", cxl)] = t_row
+        for layout in ("col", "row"):
+            overhead = times[(layout, True)] / times[(layout, False)] - 1
+            table.add_row(
+                label, "column" if layout == "col" else "row",
+                f"{times[(layout, False)] / 1e6:.2f} ms",
+                f"{times[(layout, True)] / 1e6:.2f} ms",
+                f"{overhead:+.1%}",
+            )
+        results[len(projection)] = times
+    if show:
+        table.show()
+    return results
+
+
+def test_a11_columnar_cxl(benchmark):
+    benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    results = run_experiment(show=True)
+    narrow = results[1]
+    # On CXL, the narrow column scan beats the row scan decisively.
+    assert narrow[("col", True)] < 0.5 * narrow[("row", True)]
+    # Full-width projection: the layouts converge (same bytes moved).
+    wide = results[len(SCHEMA.names)]
+    ratio = wide[("col", True)] / wide[("row", True)]
+    assert 0.7 < ratio < 1.4

@@ -1,0 +1,66 @@
+"""E4 — CXL fabric vs RDMA networking (paper Sec 2.5).
+
+Paper values reproduced:
+* CXL remote-memory latency in the low hundreds of ns vs a few us for
+  the fastest RDMA exchanges — at least a 2.5x gap;
+* a 400 Gb/s NIC (50 GB/s) on a PCIe Gen5 x16 slot (63-64 GB/s)
+  wastes over 20% of the slot's bandwidth; CXL adapters use all of it.
+"""
+
+from repro import config
+from repro.metrics.report import Table, fmt_ratio
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.sim.rdma import RDMAFabric
+from repro.units import CACHE_LINE, KIB, MIB
+
+
+def build_paths():
+    fabric = RDMAFabric()
+    fabric.add_host("a")
+    fabric.add_host("b")
+    cxl = AccessPath(
+        device=MemoryDevice(config.cxl_expander_ddr5()),
+        links=(Link(config.cxl_port()), Link(config.cxl_switch_hop())),
+    )
+    return fabric, cxl
+
+
+def run_experiment(show=False):
+    fabric, cxl = build_paths()
+
+    sizes = [CACHE_LINE, KIB, 64 * KIB, MIB]
+    table = Table("E4: CXL vs RDMA (Sec 2.5)", [
+        "transfer", "RDMA", "CXL", "advantage", "paper",
+    ])
+    advantages = []
+    for size in sizes:
+        rdma_ns = fabric.one_sided_read_time("a", "b", size)
+        cxl_ns = cxl.read_time(size)
+        advantage = rdma_ns / cxl_ns
+        advantages.append(advantage)
+        label = f"{size} B" if size < KIB else f"{size // KIB} KiB"
+        expected = ">=2.5x" if size <= KIB else "shrinks with size"
+        table.add_row(label, f"{rdma_ns:,.0f} ns", f"{cxl_ns:,.0f} ns",
+                      fmt_ratio(advantage), expected)
+
+    nic = fabric.nic("a")
+    slot = config.pcie_bandwidth(config.PCIeGeneration.GEN5, 16)
+    port = config.cxl_port()
+    table.add_row("NIC payload of PCIe slot", "50/64 GB/s",
+                  f"{nic.effective_bandwidth:.0f}/{slot:.0f} GB/s",
+                  f"{nic.wasted_pcie_fraction:.0%} wasted", ">20% wasted")
+    table.add_row("CXL payload of PCIe slot", "full",
+                  f"{port.effective_bandwidth:.0f}/{slot:.0f} GB/s",
+                  "0% wasted", "full bandwidth")
+    if show:
+        table.show()
+    return advantages, nic.wasted_pcie_fraction
+
+
+def test_e4_cxl_vs_rdma(benchmark):
+    benchmark(run_experiment)
+    advantages, wasted = run_experiment(show=True)
+    assert advantages[0] >= 2.5          # small transfers
+    assert advantages[0] > advantages[-1]  # gap shrinks with size
+    assert wasted > 0.20

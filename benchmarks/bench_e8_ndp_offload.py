@@ -1,0 +1,129 @@
+"""E8 — Near-data processing on the CXL controller, Fig 3 (Sec 4).
+
+Shapes reproduced:
+* offloaded selection wins at low selectivity (ships only matches
+  over the fabric) and converges to the host path as selectivity
+  approaches 1;
+* fabric traffic drops proportionally to selectivity;
+* coherent host+controller *parallel* scans beat either side alone —
+  impossible for non-coherent (classic) NDP;
+* active memory regions: streaming a computed view beats
+  materialize-then-read, drastically so for partial reads (Fig 3b).
+"""
+
+from repro import config
+from repro.core.ndp import (
+    ActiveMemoryRegion,
+    NDPController,
+    NDPOperatorLibrary,
+)
+from repro.metrics.report import Table, fmt_ratio
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.units import KIB, MIB, fmt_bytes, fmt_ns
+
+PAGES = 100_000  # ~400 MiB table
+
+
+def build_controller() -> NDPController:
+    device = MemoryDevice(config.cxl_expander_ddr5())
+    path = AccessPath(device=device, links=(Link(config.cxl_port()),))
+    return NDPController(path)
+
+
+def run_selectivity_sweep(controller):
+    rows = []
+    for selectivity in (0.001, 0.01, 0.1, 0.5, 1.0):
+        host = controller.host_filter_time(PAGES, selectivity)
+        ndp = controller.offload_filter_time(PAGES, selectivity)
+        parallel = controller.parallel_filter_time(
+            PAGES, selectivity,
+            controller.best_host_fraction(PAGES, selectivity),
+        )
+        rows.append((selectivity, host, ndp, parallel))
+    return rows
+
+
+def run_active_region():
+    device = MemoryDevice(config.cxl_expander_ddr5())
+    path = AccessPath(device=device, links=(Link(config.cxl_port()),))
+    region = ActiveMemoryRegion(path, view_bytes=256 * MIB,
+                                expansion=4.0)
+    full_stream = region.streaming_read_time()
+    full_mat = region.materialized_read_time()
+    partial_stream = region.streaming_read_time(64 * KIB)
+    partial_mat = region.materialized_read_time(64 * KIB)
+    return full_stream, full_mat, partial_stream, partial_mat
+
+
+def run_experiment(show=False):
+    controller = build_controller()
+    sweep = run_selectivity_sweep(controller)
+
+    table = Table("E8: NDP operator offload (Fig 3a, Sec 4)", [
+        "selectivity", "host", "offload", "parallel",
+        "offload speedup", "fabric bytes saved",
+    ])
+    for selectivity, host, ndp, parallel in sweep:
+        saved = 1.0 - ndp.fabric_bytes / host.fabric_bytes
+        table.add_row(
+            f"{selectivity:.1%}",
+            fmt_ns(host.time_ns), fmt_ns(ndp.time_ns),
+            fmt_ns(parallel.time_ns),
+            fmt_ratio(host.time_ns / ndp.time_ns),
+            f"{saved:.0%}",
+        )
+
+    library = NDPOperatorLibrary(controller.path)
+    table_ops = Table(
+        "E8c: the Sec 4 operator candidates (256 MiB input)", [
+            "operator", "runs on", "host", "offloaded", "speedup",
+            "fabric bytes",
+        ])
+    placements = library.placement_table(256 * MIB)
+    for placement in placements:
+        table_ops.add_row(
+            placement.op,
+            "controller" if placement.offload else "host",
+            fmt_ns(placement.host_time_ns),
+            fmt_ns(placement.ndp_time_ns),
+            fmt_ratio(placement.speedup),
+            f"{placement.host_fabric_bytes >> 20} ->"
+            f" {placement.ndp_fabric_bytes >> 20} MiB",
+        )
+
+    full_stream, full_mat, partial_stream, partial_mat = \
+        run_active_region()
+    table2 = Table("E8b: active memory region (Fig 3b)", [
+        "read", "streaming", "materialized", "advantage",
+    ])
+    table2.add_row(f"full view ({fmt_bytes(256 * MIB)})",
+                   fmt_ns(full_stream), fmt_ns(full_mat),
+                   fmt_ratio(full_mat / full_stream))
+    table2.add_row("first 64 KiB",
+                   fmt_ns(partial_stream), fmt_ns(partial_mat),
+                   fmt_ratio(partial_mat / partial_stream))
+    if show:
+        table.show()
+        table_ops.show()
+        table2.show()
+    return sweep, (full_stream, full_mat, partial_stream, partial_mat), \
+        placements
+
+
+def test_e8_ndp_offload(benchmark):
+    benchmark(run_experiment)
+    (sweep, (full_stream, full_mat, partial_stream, partial_mat),
+     placements) = run_experiment(show=True)
+    by_op = {p.op: p for p in placements}
+    assert by_op["selection"].offload
+    assert by_op["like_filter"].offload
+    assert not by_op["decompression"].offload  # expanding op stays home
+    speedups = [host.time_ns / ndp.time_ns
+                for _s, host, ndp, _p in sweep]
+    assert speedups[0] > 1.2                 # low selectivity wins
+    assert speedups[0] > speedups[-1]        # win shrinks with sel.
+    for _s, host, ndp, parallel in sweep:
+        assert parallel.time_ns <= min(host.time_ns, ndp.time_ns) + 1e-6
+    assert full_mat > full_stream
+    assert partial_mat > 50 * partial_stream

@@ -1,0 +1,21 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark prints a table of the rows the paper reports next to
+what the simulator measures, then hands a representative kernel to
+pytest-benchmark. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(`-s` shows the tables; EXPERIMENTS.md archives one captured run.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _spacer():
+    """Blank line so tables don't collide with pytest's dots."""
+    yield
+    print()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Composable heterogeneous racks (Sec 5).
+
+The same CXL fabric that pools memory pools accelerators: GPUs,
+FPGAs, and DPUs become rack-level resources any engine can borrow.
+This script schedules a mixed DB + ML operator stream two ways:
+
+* fixed servers — each machine owns whatever devices it shipped with,
+  and tasks can only use their server's hardware;
+* a composable pool — every task runs on the best-suited free device
+  anywhere in the rack.
+
+Run:  python examples/composable_rack.py
+"""
+
+from repro.core.hetero import (
+    ComposableRack,
+    FixedServerRack,
+    mixed_workload,
+)
+from repro.units import fmt_ns
+
+TASKS = 400
+
+
+def describe(name, report):
+    busy = report.per_class_busy
+    total = sum(busy.values()) or 1.0
+    mix = ", ".join(
+        f"{klass} {share / total:.0%}"
+        for klass, share in sorted(busy.items())
+    )
+    print(f"  {name:<18} mean completion"
+          f" {fmt_ns(report.mean_completion_ns):>10}   makespan"
+          f" {fmt_ns(report.makespan_ns):>10}")
+    print(f"  {'':<18} busy-time mix: {mix}")
+
+
+def main() -> None:
+    print(f"{TASKS} mixed operators (scans, joins, ML inference,"
+          " compression):\n")
+    fixed = FixedServerRack(num_servers=8, gpus_every=2,
+                            fpgas_every=2).schedule(
+        mixed_workload(num_tasks=TASKS))
+    pooled = ComposableRack(gpus=4, fpgas=4, dpus=4,
+                            cpus=8).schedule(
+        mixed_workload(num_tasks=TASKS))
+    describe("fixed servers", fixed)
+    print()
+    describe("composable pool", pooled)
+    advantage = fixed.mean_completion_ns / pooled.mean_completion_ns
+    print(f"\nPooling the accelerators behind the fabric finishes"
+          f" tasks {advantage:.1f}x faster on average:\nML operators"
+          " land on GPUs and compression on FPGAs wherever they are"
+          " free, instead of queueing\nfor whatever their server"
+          " happens to own (Sec 5).")
+
+
+if __name__ == "__main__":
+    main()

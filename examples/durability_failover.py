@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Durability and failover on the new memory hierarchy (Sec 4 + 2.6).
+
+Three mechanisms, one script:
+
+1. commit latency by log placement (NVMe vs replicated DRAM vs
+   CXL-NVM vs battery DRAM);
+2. a crash: committed transactions survive, losers roll back
+   (ARIES-lite over the placed log);
+3. end-to-end failover downtime: RAS + warm attach + CXL-NVM replay
+   vs timeouts + cold NVMe restart.
+
+Run:  python examples/durability_failover.py
+"""
+
+from repro.core.failover import FailoverOrchestrator
+from repro.core.recovery import RecoveryManager
+from repro.core.wal import (
+    BatteryDRAMLogBackend,
+    CXLNVMLogBackend,
+    NVMeLogBackend,
+    RDMAReplicatedLogBackend,
+    WriteAheadLog,
+)
+from repro.storage.disk import StorageDevice
+from repro.units import fmt_ns
+
+
+def commit_latencies() -> None:
+    print("1. Commit latency by log placement (group commit of 8):\n")
+    for backend in (NVMeLogBackend(StorageDevice()),
+                    RDMAReplicatedLogBackend.build(replicas=2),
+                    CXLNVMLogBackend.build(),
+                    BatteryDRAMLogBackend.build()):
+        log = WriteAheadLog(backend, group_size=8)
+        for i in range(4_000):
+            log.append(256, now_ns=i * 500.0)
+        log.flush(4_000 * 500.0)
+        print(f"   {backend.name:<16} mean commit"
+              f" {fmt_ns(log.commit_latency.mean):>10}")
+
+
+def crash_story() -> None:
+    print("\n2. Crash recovery over a CXL-NVM log:")
+    rm = RecoveryManager(WriteAheadLog(CXLNVMLogBackend.build(),
+                                       group_size=4))
+    rm.begin(1)
+    rm.update(1, page_id=0, key="balance", value=100)
+    rm.commit(1)
+    rm.begin(2)
+    rm.update(2, page_id=0, key="balance", value=999)  # in flight
+    print("   committed txn 1 set balance=100;"
+          " txn 2 wrote 999 but never committed")
+    rm.crash()
+    report = rm.recover()
+    print(f"   crash! recovery redid {report.redo_applied} and undid"
+          f" {report.undo_applied} records in {fmt_ns(report.time_ns)}")
+    print(f"   balance after recovery: {rm.read(0, 'balance')}"
+          " (exactly the committed state)")
+
+
+def failover_story() -> None:
+    print("\n3. Failover downtime (2 GiB working set, 64 MiB log tail):")
+    pooled, classic, ratio = FailoverOrchestrator().compare()
+    for outcome in (classic, pooled):
+        print(f"   {outcome.name:<12} detect"
+              f" {fmt_ns(outcome.detection_ns):>10}  recover state"
+              f" {fmt_ns(outcome.state_recovery_ns):>10}  replay"
+              f" {fmt_ns(outcome.log_replay_ns):>10}  TOTAL"
+              f" {fmt_ns(outcome.total_downtime_ns):>10}")
+    print(f"   -> {ratio:.0f}x less downtime when state and log live"
+          " on the CXL fabric.")
+
+
+def main() -> None:
+    commit_latencies()
+    crash_story()
+    failover_story()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Near-data processing on the CXL controller (Sec 4, Fig 3).
+
+Two demonstrations:
+
+1. **Operator offload** — a selective scan over a 400 MB table, run
+   on the host (pull everything over the fabric) vs on the expander's
+   controller (scan at internal DRAM speed, ship only matches), vs
+   both in parallel — which only coherence makes possible.
+2. **Active memory regions** — a materialized view that is never
+   materialized: reading its address range streams the computation's
+   output directly.
+
+Run:  python examples/ndp_views.py
+"""
+
+from repro import config
+from repro.core.ndp import ActiveMemoryRegion, NDPController
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.units import KIB, MIB, fmt_ns
+
+PAGES = 100_000  # ~400 MB
+
+
+def main() -> None:
+    device = MemoryDevice(config.cxl_expander_ddr5())
+    path = AccessPath(device=device, links=(Link(config.cxl_port()),))
+    controller = NDPController(path)
+
+    print("Selective scan of a ~400 MB table living in CXL memory:\n")
+    print(f"{'selectivity':>12} {'host':>12} {'offload':>12}"
+          f" {'parallel':>12} {'fabric bytes saved':>20}")
+    for selectivity in (0.001, 0.01, 0.1, 1.0):
+        host = controller.host_filter_time(PAGES, selectivity)
+        ndp = controller.offload_filter_time(PAGES, selectivity)
+        best = controller.best_host_fraction(PAGES, selectivity)
+        par = controller.parallel_filter_time(PAGES, selectivity, best)
+        saved = 1.0 - ndp.fabric_bytes / host.fabric_bytes
+        print(f"{selectivity:>11.1%} {fmt_ns(host.time_ns):>12}"
+              f" {fmt_ns(ndp.time_ns):>12} {fmt_ns(par.time_ns):>12}"
+              f" {saved:>19.0%}")
+
+    print("\nActive memory region: a 256 MB computed view"
+          " (4:1 source expansion).")
+    region = ActiveMemoryRegion(path, view_bytes=256 * MIB,
+                                expansion=4.0)
+    print(f"  read full view   streaming {fmt_ns(region.streaming_read_time()):>10}"
+          f"   materialized {fmt_ns(region.materialized_read_time()):>10}")
+    print(f"  read first 64KiB streaming"
+          f" {fmt_ns(region.streaming_read_time(64 * KIB)):>10}"
+          f"   materialized"
+          f" {fmt_ns(region.materialized_read_time(64 * KIB)):>10}")
+    print("\nThe streaming region feeds results as the reader touches"
+          " addresses - results 'need not be\nmaterialized' (Sec 4),"
+          " which is dramatic for partial reads.")
+
+
+if __name__ == "__main__":
+    main()

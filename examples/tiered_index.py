@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A B+tree that spans DRAM and CXL memory (Sec 3.1).
+
+"Should data structures span conventional and CXL memory?" This
+script builds the same 200k-key index three ways and measures point
+lookups:
+
+* all nodes in DRAM (fast, but the index competes for scarce DRAM);
+* all nodes in CXL (DRAM-free, but every hop pays fabric latency);
+* hybrid: inner levels in DRAM, leaves in CXL — a handful of DRAM
+  pages buys back most of the latency.
+
+Run:  python examples/tiered_index.py
+"""
+
+from repro import config
+from repro.core.btree import TieredBTree
+from repro.core.buffer import Tier, TieredBufferPool
+from repro.core.placement import StaticPolicy
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+
+KEYS = 200_000
+PROBES = 2_000
+
+
+def make_pool(classifier):
+    tiers = [
+        Tier("dram", AccessPath(device=MemoryDevice(config.local_ddr5())),
+             8_192),
+        Tier("cxl", AccessPath(
+            device=MemoryDevice(config.cxl_expander_ddr5()),
+            links=(Link(config.cxl_port()),)), 8_192),
+    ]
+    return TieredBufferPool(tiers=tiers,
+                            placement=StaticPolicy(classifier))
+
+
+def measure(name, classifier_factory):
+    items = [(key, key) for key in range(KEYS)]
+    shape = TieredBTree.bulk_build(make_pool(lambda _p: 1), items,
+                                   first_page_id=0)
+    pool = make_pool(classifier_factory(shape))
+    tree = TieredBTree.bulk_build(pool, items, first_page_id=0)
+    for key in range(0, KEYS, 61):
+        tree.lookup(key)  # warm every page
+    start = pool.clock.now
+    for key in range(0, KEYS, KEYS // PROBES):
+        tree.lookup(key)
+    mean = (pool.clock.now - start) / PROBES
+    print(f"  {name:<22} mean lookup {mean:5.0f} ns   "
+          f"DRAM pages {pool.tier_residents(0):5,}   "
+          f"height {tree.height}")
+
+
+def main() -> None:
+    print(f"{KEYS:,}-key B+tree, {PROBES:,} warm point lookups:\n")
+    measure("all-DRAM", lambda _t: (lambda _p: 0))
+    measure("hybrid (inner DRAM)", lambda t: t.page_classifier(0, 1))
+    measure("all-CXL", lambda _t: (lambda _p: 1))
+    print("\nThe hybrid keeps only the inner levels (a few dozen"
+          " pages) in DRAM and still recovers most\nof the all-DRAM"
+          " latency: data structures should span tiers (Sec 3.1).")
+
+
+if __name__ == "__main__":
+    main()

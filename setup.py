@@ -1,0 +1,5 @@
+"""Legacy setup shim for offline editable installs (`--no-use-pep517`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""cxlmem: CXL rack-scale memory simulation and a tiered scale-up
+database engine.
+
+A reproduction of Lerner & Alonso, *CXL and the Return of Scale-Up
+Database Engines* (PVLDB 17(10), 2024). The package layers:
+
+* :mod:`repro.sim` — the hardware substrate (memory devices, CXL
+  fabric, coherence, NUMA, RDMA baseline, failures);
+* :mod:`repro.storage` — pages, block devices, page files;
+* :mod:`repro.core` — the CXL-tiered buffer pool, placement policies,
+  pooling/elasticity, rack-scale shared engine vs scale-out baseline,
+  near-data processing, heterogeneous composition;
+* :mod:`repro.query` — a mini relational engine (scans, joins, sorts,
+  TPC-H-shaped queries);
+* :mod:`repro.workloads` — YCSB, TPC-C-lite, scans, Zipf, and the
+  Pond-style cloud-workload population;
+* :mod:`repro.metrics` — streaming stats and report tables.
+
+Quickstart::
+
+    from repro.core import ScaleUpEngine, DbCostPolicy
+    from repro.workloads import ycsb_trace, YCSBConfig
+
+    engine = ScaleUpEngine.build(dram_pages=2_000, cxl_pages=20_000,
+                                 placement=DbCostPolicy())
+    report = engine.run(ycsb_trace(YCSBConfig(mix="B")))
+    print(report)
+"""
+
+from . import config, errors, units
+from .core import ScaleUpEngine
+from .version import __version__
+
+__all__ = ["ScaleUpEngine", "__version__", "config", "errors", "units"]

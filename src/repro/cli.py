@@ -1,0 +1,114 @@
+"""Command-line experiment runner.
+
+``python -m repro`` runs every paper experiment and prints the
+paper-vs-measured tables (the same code paths the pytest-benchmark
+suite exercises, without the benchmarking harness)::
+
+    python -m repro                 # run everything
+    python -m repro e3 e7           # run selected experiments
+    python -m repro --list          # show what exists
+
+The experiment implementations live in ``benchmarks/`` next to this
+repository's ``src/``; each module exposes ``run_experiment(show=...)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+import time
+from pathlib import Path
+
+#: Experiment id -> benchmark module filename.
+EXPERIMENTS: dict[str, str] = {
+    "e1": "bench_e1_latency_bandwidth.py",
+    "e2": "bench_e2_tpp_tiering.py",
+    "e3": "bench_e3_pond_population.py",
+    "e4": "bench_e4_cxl_vs_rdma.py",
+    "e5": "bench_e5_memory_expansion.py",
+    "e6": "bench_e6_pooling_elasticity.py",
+    "e7": "bench_e7_sharing_vs_scaleout.py",
+    "e8": "bench_e8_ndp_offload.py",
+    "e9": "bench_e9_heterogeneous.py",
+    "e10": "bench_e10_ras_failures.py",
+    "f1": "bench_f1_coherency_domain.py",
+    "a1": "bench_a1_ablations.py",
+    "a5": "bench_a2_index_placement.py",
+    "a6": "bench_a3_autoscale.py",
+    "a7": "bench_a4_oltp_mechanisms.py",
+    "a8": "bench_a5_morsel_scheduling.py",
+    "a9": "bench_a6_memory_diversity.py",
+    "a10": "bench_a7_bandwidth_interference.py",
+    "a11": "bench_a8_columnar_cxl.py",
+}
+
+
+def find_benchmarks_dir(start: Path | None = None) -> Path | None:
+    """Locate the repository's benchmarks/ directory.
+
+    Searches upward from this file (source checkouts) and from the
+    current working directory.
+    """
+    candidates = []
+    here = Path(__file__).resolve()
+    candidates.extend(parent / "benchmarks" for parent in here.parents)
+    cwd = (start or Path.cwd()).resolve()
+    candidates.append(cwd / "benchmarks")
+    candidates.extend(parent / "benchmarks" for parent in cwd.parents)
+    for candidate in candidates:
+        if (candidate / EXPERIMENTS["e1"]).is_file():
+            return candidate
+    return None
+
+
+def load_experiment(bench_dir: Path, exp_id: str):
+    """Import a benchmark module and return its run_experiment."""
+    filename = EXPERIMENTS[exp_id]
+    path = bench_dir / filename
+    spec = importlib.util.spec_from_file_location(
+        f"repro_bench_{exp_id}", path
+    )
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper-reproduction experiments.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, filename in EXPERIMENTS.items():
+            print(f"  {exp_id:<4} {filename}")
+        return 0
+
+    bench_dir = find_benchmarks_dir()
+    if bench_dir is None:
+        print("error: could not locate the benchmarks/ directory;"
+              " run from the repository root", file=sys.stderr)
+        return 2
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiments {unknown};"
+              f" choose from {list(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for exp_id in selected:
+        run = load_experiment(bench_dir, exp_id)
+        started = time.time()
+        run(show=True)
+        print(f"[{exp_id} done in {time.time() - started:.1f}s]")
+    return 0

@@ -1,0 +1,90 @@
+"""The paper's primary contribution: a CXL-aware scale-up database engine.
+
+* :mod:`repro.core.buffer` — the tiered buffer pool (Sec 3.1);
+* :mod:`repro.core.placement` — data-placement policies (OS paging vs
+  DB cost-based vs static HTAP pinning);
+* :mod:`repro.core.elastic` — memory pooling, warm spawn, migration
+  (Sec 3.2);
+* :mod:`repro.core.shared` — the rack-scale shared-memory engine
+  (Sec 3.3) and :mod:`repro.core.scaleout` — its scale-out baseline;
+* :mod:`repro.core.ndp` — near-data processing and active memory
+  regions (Sec 4);
+* :mod:`repro.core.hetero` — composable heterogeneous racks (Sec 5).
+"""
+
+from .autoscale import Autoscaler, QueryJob
+from .btree import TieredBTree
+from .failover import FailoverOrchestrator
+from .morsel import Morsel, RackScheduler
+from .timestamps import CXLSharedOracle, LocalAtomicOracle, RPCOracle
+from .wal import WriteAheadLog
+from .buffer import BufferPoolStats, Tier, TieredBufferPool
+from .elastic import ElasticCluster, StrandingModel
+from .engine import EngineReport, ScaleUpEngine
+from .frame import Frame
+from .hetero import ComposableRack, FixedServerRack, OperatorTask
+from .locks import LockMode, LockTable
+from .ndp import ActiveMemoryRegion, NDPController, NDPOperatorLibrary
+from .placement import (
+    DbCostPolicy,
+    OSPagingPolicy,
+    PlacementPolicy,
+    StaticPolicy,
+)
+from .replacement import (
+    ClockPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    TwoQPolicy,
+    make_policy,
+)
+from .scaleout import ScaleOutConfig, ScaleOutEngine
+from .shared import SharedEngineConfig, SharedRackEngine
+from .temperature import ExactTracker, SampledTracker
+from .txn import OLTPReport, TwoPhaseLockingExecutor
+
+__all__ = [
+    "ActiveMemoryRegion",
+    "Autoscaler",
+    "BufferPoolStats",
+    "CXLSharedOracle",
+    "ClockPolicy",
+    "ComposableRack",
+    "DbCostPolicy",
+    "ElasticCluster",
+    "EngineReport",
+    "ExactTracker",
+    "FailoverOrchestrator",
+    "FixedServerRack",
+    "Frame",
+    "LRUKPolicy",
+    "LRUPolicy",
+    "LocalAtomicOracle",
+    "LockMode",
+    "LockTable",
+    "Morsel",
+    "NDPController",
+    "NDPOperatorLibrary",
+    "OLTPReport",
+    "OSPagingPolicy",
+    "OperatorTask",
+    "PlacementPolicy",
+    "QueryJob",
+    "RPCOracle",
+    "RackScheduler",
+    "SampledTracker",
+    "ScaleOutConfig",
+    "ScaleOutEngine",
+    "ScaleUpEngine",
+    "SharedEngineConfig",
+    "SharedRackEngine",
+    "StaticPolicy",
+    "StrandingModel",
+    "Tier",
+    "TieredBTree",
+    "TieredBufferPool",
+    "TwoPhaseLockingExecutor",
+    "TwoQPolicy",
+    "WriteAheadLog",
+    "make_policy",
+]

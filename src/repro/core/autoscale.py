@@ -1,0 +1,233 @@
+"""Engine autoscaling over pooled memory (Sec 3.2 research questions).
+
+"Should the granularity be the entire engine, or can elasticity be
+pushed down to threads running queries?" and "How would an engine
+operate under a dynamically changing multiprogramming level?" —
+this module lets both be measured.
+
+An :class:`Autoscaler` serves a query arrival stream with a dynamic
+set of engine workers. Spawning is either **warm** (the buffer pool
+lives in pooled CXL memory: a new worker is at full speed after a
+~200 us attach) or **cold** (a fresh local buffer pool: the worker
+serves its first queries slowly while it faults its working set in).
+A fixed-fleet baseline shows what the elasticity is worth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..metrics.stats import percentile
+from ..units import SECOND, ms, us
+
+
+@dataclass(frozen=True)
+class QueryJob:
+    """One query: arrival time and its warm service time."""
+
+    arrival_ns: float
+    service_ns: float
+
+
+@dataclass
+class _Worker:
+    worker_id: int
+    available_at_ns: float
+    warm: bool
+    served: int = 0
+    busy_ns: float = 0.0
+    retired_at_ns: float | None = None
+    spawned_at_ns: float = 0.0
+
+
+@dataclass
+class AutoscaleReport:
+    """Outcome of serving a job stream."""
+
+    name: str
+    jobs: int = 0
+    waits_ns: list[float] = field(default_factory=list)
+    spawns: int = 0
+    retires: int = 0
+    engine_time_ns: float = 0.0  # provisioned engine-time (cost)
+    peak_workers: int = 0
+
+    @property
+    def mean_wait_ns(self) -> float:
+        """Mean queueing delay."""
+        if not self.waits_ns:
+            return 0.0
+        return sum(self.waits_ns) / len(self.waits_ns)
+
+    @property
+    def p95_wait_ns(self) -> float:
+        """95th-percentile queueing delay."""
+        if not self.waits_ns:
+            return 0.0
+        return percentile(self.waits_ns, 0.95)
+
+    @property
+    def engine_seconds(self) -> float:
+        """Provisioned engine-time in seconds (the bill)."""
+        return self.engine_time_ns / SECOND
+
+
+class Autoscaler:
+    """A dynamic fleet of engine workers over a shared job queue.
+
+    ``mode``:
+      * ``"warm"`` — spawned workers attach to the pooled buffer and
+        run at full speed after ``warm_spawn_ns``;
+      * ``"cold"`` — spawned workers are ready after
+        ``cold_spawn_ns`` but their first ``cold_ramp_jobs`` queries
+        run ``cold_penalty``x slower (faulting the working set);
+      * ``"fixed"`` — ``max_workers`` workers for the whole run, no
+        scaling.
+    """
+
+    def __init__(self, mode: str = "warm", min_workers: int = 1,
+                 max_workers: int = 16,
+                 scale_up_backlog: float = 4.0,
+                 idle_retire_ns: float = ms(50.0),
+                 warm_spawn_ns: float = us(200.0),
+                 cold_spawn_ns: float = us(200.0),
+                 cold_ramp_jobs: int = 50,
+                 cold_penalty: float = 4.0,
+                 name: str | None = None) -> None:
+        if mode not in ("warm", "cold", "fixed"):
+            raise ConfigError(f"unknown mode {mode!r}")
+        if not 1 <= min_workers <= max_workers:
+            raise ConfigError("need 1 <= min_workers <= max_workers")
+        self.mode = mode
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.scale_up_backlog = scale_up_backlog
+        self.idle_retire_ns = idle_retire_ns
+        self.warm_spawn_ns = warm_spawn_ns
+        self.cold_spawn_ns = cold_spawn_ns
+        self.cold_ramp_jobs = cold_ramp_jobs
+        self.cold_penalty = cold_penalty
+        self.name = name or f"autoscale-{mode}"
+        self._ids = itertools.count()
+
+    # -- internals -------------------------------------------------------
+
+    def _spawn(self, now_ns: float) -> _Worker:
+        if self.mode == "cold":
+            ready = now_ns + self.cold_spawn_ns
+            warm = False
+        else:
+            ready = now_ns + self.warm_spawn_ns
+            warm = True
+        return _Worker(worker_id=next(self._ids),
+                       available_at_ns=ready, warm=warm,
+                       spawned_at_ns=now_ns)
+
+    def _service_time(self, worker: _Worker, job: QueryJob) -> float:
+        if worker.warm or worker.served >= self.cold_ramp_jobs:
+            return job.service_ns
+        # Linear ramp from cold_penalty down to 1x.
+        progress = worker.served / self.cold_ramp_jobs
+        factor = self.cold_penalty - (self.cold_penalty - 1.0) * progress
+        return job.service_ns * factor
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, jobs: list[QueryJob]) -> AutoscaleReport:
+        """Serve the stream; returns wait/cost accounting."""
+        if not jobs:
+            raise ConfigError("no jobs to serve")
+        jobs = sorted(jobs, key=lambda j: j.arrival_ns)
+        report = AutoscaleReport(name=self.name)
+        start_count = self.max_workers if self.mode == "fixed" \
+            else self.min_workers
+        workers = [
+            _Worker(worker_id=next(self._ids), available_at_ns=0.0,
+                    warm=True)
+            for _ in range(start_count)
+        ]
+        report.peak_workers = len(workers)
+
+        for job in jobs:
+            now = job.arrival_ns
+            live = [w for w in workers if w.retired_at_ns is None]
+            # Retire idle workers (elastic modes only).
+            if self.mode != "fixed" and len(live) > self.min_workers:
+                for worker in live:
+                    idle = now - worker.available_at_ns
+                    if idle > self.idle_retire_ns and \
+                            len(live) > self.min_workers:
+                        worker.retired_at_ns = max(
+                            worker.available_at_ns, now
+                        )
+                        report.retires += 1
+                        live = [w for w in workers
+                                if w.retired_at_ns is None]
+            # Scale up if the backlog per worker is too deep.
+            if self.mode != "fixed" and len(live) < self.max_workers:
+                backlog = sum(
+                    1 for w in live if w.available_at_ns > now
+                )
+                if backlog >= len(live) and \
+                        self._mean_queue_depth(live, now) \
+                        >= self.scale_up_backlog:
+                    worker = self._spawn(now)
+                    workers.append(worker)
+                    live.append(worker)
+                    report.spawns += 1
+                    report.peak_workers = max(report.peak_workers,
+                                              len(live))
+            # Dispatch to the earliest-available live worker.
+            worker = min(live, key=lambda w: w.available_at_ns)
+            begin = max(now, worker.available_at_ns)
+            service = self._service_time(worker, job)
+            worker.available_at_ns = begin + service
+            worker.served += 1
+            worker.busy_ns += service
+            report.jobs += 1
+            report.waits_ns.append(begin - now)
+
+        end = max(w.available_at_ns for w in workers)
+        for worker in workers:
+            retired = worker.retired_at_ns
+            horizon = retired if retired is not None else end
+            report.engine_time_ns += max(
+                0.0, horizon - worker.spawned_at_ns
+            )
+        return report
+
+    @staticmethod
+    def _mean_queue_depth(live: list[_Worker], now: float) -> float:
+        if not live:
+            return float("inf")
+        waiting = sum(
+            max(0.0, w.available_at_ns - now) for w in live
+        )
+        service_scale = ms(1.0)
+        return waiting / (len(live) * service_scale)
+
+
+def bursty_jobs(duration_ms: float = 200.0, base_rate_per_ms: float = 2.0,
+                burst_rate_per_ms: float = 20.0,
+                burst_start_frac: float = 0.4,
+                burst_end_frac: float = 0.6,
+                service_ns: float = ms(0.4), seed: int = 9
+                ) -> list[QueryJob]:
+    """A diurnal-burst arrival stream: steady load with a hot window."""
+    import random
+    rng = random.Random(seed)
+    jobs: list[QueryJob] = []
+    t = 0.0
+    horizon = ms(duration_ms)
+    burst_lo = horizon * burst_start_frac
+    burst_hi = horizon * burst_end_frac
+    while t < horizon:
+        rate = burst_rate_per_ms if burst_lo <= t < burst_hi \
+            else base_rate_per_ms
+        t += rng.expovariate(rate) * ms(1.0)
+        jitter = rng.uniform(0.7, 1.4)
+        jobs.append(QueryJob(arrival_ns=t,
+                             service_ns=service_ns * jitter))
+    return jobs

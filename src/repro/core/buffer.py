@@ -1,0 +1,490 @@
+"""The CXL-tiered buffer pool (Sec 3.1 of the paper).
+
+A :class:`TieredBufferPool` manages frames across an ordered list of
+memory :class:`Tier` objects — typically local DRAM first, then one or
+more CXL tiers — backed by an optional page file on block storage.
+Pages live in exactly one tier at a time; a placement policy
+(:mod:`repro.core.placement`) decides where pages are admitted, when
+they are promoted or demoted, and where evictions drain to.
+
+Timing: every operation charges virtual nanoseconds to the pool's
+clock using the tier's :class:`~repro.sim.interconnect.AccessPath`.
+``access()`` returns the *demand latency* — what a query thread waits
+for — while migration/maintenance costs are accounted separately in
+the stats (and also advance the clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import BufferPoolError, PageFaultError
+from ..sim.clock import SimClock
+from ..sim.interconnect import AccessPath
+from ..storage.file import PageFile
+from ..storage.page import Page, PageId
+from ..units import CACHE_LINE
+from .frame import Frame
+from .replacement import ReplacementPolicy, make_policy
+from .temperature import ExactTracker, TemperatureTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .placement import PlacementPolicy
+
+
+@dataclass
+class Tier:
+    """One memory tier of the pool."""
+
+    name: str
+    path: AccessPath
+    capacity_pages: int
+    policy: ReplacementPolicy = field(default_factory=lambda: make_policy("lru"))
+
+    def __post_init__(self) -> None:
+        if self.capacity_pages <= 0:
+            raise BufferPoolError(
+                f"tier {self.name}: capacity must be positive"
+            )
+
+    @classmethod
+    def from_device_path(cls, name: str, path: AccessPath,
+                         page_size: int, policy_name: str = "lru",
+                         capacity_pages: int | None = None) -> "Tier":
+        """Build a tier sized to (a fraction of) its device capacity."""
+        capacity = capacity_pages
+        if capacity is None:
+            capacity = path.device.capacity_bytes // page_size
+        return cls(name=name, path=path, capacity_pages=capacity,
+                   policy=make_policy(policy_name))
+
+
+@dataclass
+class TierStats:
+    """Per-tier accounting."""
+
+    hits: int = 0
+    evictions: int = 0
+    promotions_in: int = 0
+    demotions_in: int = 0
+    resident_peak: int = 0
+
+
+@dataclass
+class BufferPoolStats:
+    """Pool-wide accounting."""
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    migrations: int = 0
+    demand_time_ns: float = 0.0
+    fault_time_ns: float = 0.0
+    migration_time_ns: float = 0.0
+    per_tier: list[TierStats] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        """Accesses served from some tier."""
+        return self.accesses - self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served without a storage fault."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def tier_hit_rate(self, tier_index: int) -> float:
+        """Fraction of all accesses served by one tier."""
+        if self.accesses == 0:
+            return 0.0
+        return self.per_tier[tier_index].hits / self.accesses
+
+
+class TieredBufferPool:
+    """A buffer pool spanning DRAM and CXL memory tiers."""
+
+    def __init__(
+        self,
+        tiers: list[Tier],
+        backing: PageFile | None = None,
+        placement: "PlacementPolicy | None" = None,
+        tracker: TemperatureTracker | None = None,
+        clock: SimClock | None = None,
+        page_size: int = 4096,
+    ) -> None:
+        if not tiers:
+            raise BufferPoolError("a pool needs at least one tier")
+        self.tiers = list(tiers)
+        self.backing = backing
+        self.clock = clock or SimClock()
+        self.page_size = page_size
+        self.tracker: TemperatureTracker = tracker or ExactTracker()
+        self.stats = BufferPoolStats(
+            per_tier=[TierStats() for _ in self.tiers]
+        )
+        self._frames: dict[PageId, Frame] = {}
+        self._anonymous_pages: dict[PageId, Page] = {}
+        self._resident_counts = [0] * len(self.tiers)
+        if placement is None:
+            from .placement import DbCostPolicy
+            placement = DbCostPolicy()
+        self.placement = placement
+        self.placement.attach(self)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently held in any tier."""
+        return len(self._frames)
+
+    def tier_residents(self, tier_index: int) -> int:
+        """Number of pages resident in one tier."""
+        return self._resident_counts[tier_index]
+
+    def frame_of(self, page_id: PageId) -> Frame | None:
+        """The frame holding a page, if resident."""
+        return self._frames.get(page_id)
+
+    def tier_of(self, page_id: PageId) -> int | None:
+        """Index of the tier holding a page, if resident."""
+        frame = self._frames.get(page_id)
+        return frame.tier_index if frame else None
+
+    def resident_in(self, tier_index: int) -> Iterable[PageId]:
+        """Page ids resident in one tier."""
+        return [
+            pid for pid, frame in self._frames.items()
+            if frame.tier_index == tier_index
+        ]
+
+    @property
+    def total_capacity_pages(self) -> int:
+        """Sum of tier capacities."""
+        return sum(tier.capacity_pages for tier in self.tiers)
+
+    # -- pinning --------------------------------------------------------------
+
+    def pin(self, page_id: PageId) -> None:
+        """Pin a resident page."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"cannot pin non-resident page {page_id}")
+        frame.pin()
+
+    def unpin(self, page_id: PageId) -> None:
+        """Unpin a resident page."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"cannot unpin non-resident page {page_id}")
+        frame.unpin()
+
+    # -- the access fast path ---------------------------------------------------
+
+    def access(self, page_id: PageId, nbytes: int = CACHE_LINE,
+               write: bool = False, is_scan: bool = False) -> float:
+        """Touch *nbytes* of a page; returns the demand latency (ns).
+
+        A resident page is charged its tier's access time; a miss runs
+        the fault path (storage read + admission, possibly evicting).
+        The placement policy observes every access and may migrate
+        pages as a side effect (charged to migration time, not to the
+        returned demand latency).
+        """
+        self.stats.accesses += 1
+        self.tracker.record(page_id, is_scan=is_scan)
+        frame = self._frames.get(page_id)
+        if frame is None:
+            latency = self._fault(page_id, is_scan=is_scan)
+            frame = self._frames[page_id]
+            self.stats.misses += 1
+            self.stats.fault_time_ns += latency
+        else:
+            tier = self.tiers[frame.tier_index]
+            if write:
+                latency = (tier.path.write_time_sequential(nbytes)
+                           if is_scan else tier.path.write_time(nbytes))
+            else:
+                latency = (tier.path.read_time_sequential(nbytes)
+                           if is_scan else tier.path.read_time(nbytes))
+            tier.policy.record_access(page_id)
+            self.stats.per_tier[frame.tier_index].hits += 1
+        frame.touch(self.clock.now, write=write)
+        self.clock.advance(latency)
+        self.stats.demand_time_ns += latency
+        self.placement.on_access(page_id, frame.tier_index, is_scan=is_scan)
+        return latency
+
+    def access_at(self, page_id: PageId, now_ns: float,
+                  nbytes: int = CACHE_LINE, write: bool = False,
+                  is_scan: bool = False) -> float:
+        """Contended access for multi-threaded execution.
+
+        Unlike :meth:`access`, the caller owns time: *now_ns* is the
+        issuing thread's clock and the return value is the absolute
+        completion time. Transfers are charged to the shared device
+        and link channels, so concurrent threads contend for
+        bandwidth — this is how scan threads can starve point-lookup
+        threads on the same expander. Placement runs admission only
+        (no migration side effects), keeping multi-thread runs
+        deterministic.
+        """
+        self.stats.accesses += 1
+        self.tracker.record(page_id, is_scan=is_scan)
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self.stats.misses += 1
+            page, completion = self._fault_at(page_id, now_ns,
+                                              is_scan=is_scan)
+            frame = self._frames[page_id]
+        else:
+            tier = self.tiers[frame.tier_index]
+            if write:
+                completion = tier.path.write_completion(nbytes, now_ns)
+            else:
+                completion = tier.path.read_completion(nbytes, now_ns)
+            tier.policy.record_access(page_id)
+            self.stats.per_tier[frame.tier_index].hits += 1
+        frame.touch(now_ns, write=write)
+        self.stats.demand_time_ns += completion - now_ns
+        return completion
+
+    def _fault_at(self, page_id: PageId, now_ns: float,
+                  is_scan: bool) -> tuple[Page, float]:
+        """Contended fault path; returns (page, completion time)."""
+        if self.backing is not None:
+            self.backing.ensure(page_id)
+            page = self.backing.peek(page_id)
+            t = self.backing.device.read_completion(self.page_size,
+                                                    now_ns)
+        else:
+            page = self._anonymous_pages.get(page_id)
+            if page is None:
+                page = Page(page_id=page_id, size_bytes=self.page_size)
+                self._anonymous_pages[page_id] = page
+            t = now_ns
+        tier_index = self.placement.choose_admit_tier(page_id,
+                                                      is_scan=is_scan)
+        if not 0 <= tier_index < len(self.tiers):
+            raise BufferPoolError(
+                f"placement chose invalid tier {tier_index}"
+            )
+        # Evictions on the contended path reuse the analytic costs.
+        make_room = self._make_room(tier_index)
+        tier = self.tiers[tier_index]
+        completion = tier.path.write_completion(self.page_size,
+                                                t + make_room)
+        frame = Frame(page=page, tier_index=tier_index)
+        self._frames[page_id] = frame
+        self._resident_counts[tier_index] += 1
+        tier.policy.record_insert(page_id)
+        self.stats.fault_time_ns += completion - now_ns
+        return page, completion
+
+    def get_page(self, page_id: PageId) -> Page:
+        """The resident Page object (faults it in at zero charge if
+        needed — use :meth:`access` for timed paths)."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self._fault(page_id)
+            frame = self._frames[page_id]
+        return frame.page
+
+    # -- fault path ----------------------------------------------------------------
+
+    def _fault(self, page_id: PageId, is_scan: bool = False) -> float:
+        """Bring a page in from backing storage; returns elapsed ns."""
+        page, io_time = self._read_backing(page_id)
+        tier_index = self.placement.choose_admit_tier(page_id, is_scan=is_scan)
+        if not 0 <= tier_index < len(self.tiers):
+            raise BufferPoolError(
+                f"placement chose invalid tier {tier_index}"
+            )
+        make_room_time = self._make_room(tier_index)
+        tier = self.tiers[tier_index]
+        install_time = tier.path.write_time(self.page_size)
+        frame = Frame(page=page, tier_index=tier_index)
+        self._frames[page_id] = frame
+        self._resident_counts[tier_index] += 1
+        tier.policy.record_insert(page_id)
+        tier_stats = self.stats.per_tier[tier_index]
+        tier_stats.resident_peak = max(
+            tier_stats.resident_peak, self.tier_residents(tier_index)
+        )
+        return io_time + make_room_time + install_time
+
+    def _read_backing(self, page_id: PageId) -> tuple[Page, float]:
+        if self.backing is not None:
+            # The page file is the home of the whole page-id space:
+            # every fault pays a storage read.
+            self.backing.ensure(page_id)
+            return self.backing.read_page(page_id)
+        # No backing: anonymous page, materialized free on first touch.
+        page = self._anonymous_pages.get(page_id)
+        if page is None:
+            page = Page(page_id=page_id, size_bytes=self.page_size)
+            self._anonymous_pages[page_id] = page
+        return page, 0.0
+
+    def _make_room(self, tier_index: int) -> float:
+        """Ensure one free frame in a tier; returns elapsed ns."""
+        elapsed = 0.0
+        guard = 0
+        while self.tier_residents(tier_index) >= \
+                self.tiers[tier_index].capacity_pages:
+            guard += 1
+            if guard > self.total_capacity_pages + 1:
+                raise BufferPoolError("eviction livelock")
+            elapsed += self._evict_one(tier_index)
+        return elapsed
+
+    def _evict_one(self, tier_index: int) -> float:
+        """Evict or demote one page out of a tier; returns elapsed ns."""
+        tier = self.tiers[tier_index]
+        victim_id = tier.policy.victim(self._is_pinned)
+        if victim_id is None:
+            raise PageFaultError(
+                f"tier {tier.name}: all frames pinned, cannot evict"
+            )
+        target = self.placement.demote_target(tier_index)
+        if target is not None and target != tier_index:
+            # Demotion time is part of the fault being served: it is
+            # charged as demand latency, not as migration time.
+            return self._migrate_locked(victim_id, target, demotion=True,
+                                        charge_migration_time=False)
+        return self._evict_to_storage(victim_id)
+
+    def _evict_to_storage(self, page_id: PageId) -> float:
+        frame = self._frames.pop(page_id)
+        self._resident_counts[frame.tier_index] -= 1
+        tier = self.tiers[frame.tier_index]
+        tier.policy.remove(page_id)
+        self.stats.per_tier[frame.tier_index].evictions += 1
+        elapsed = tier.path.read_time(self.page_size)
+        if frame.dirty:
+            self.stats.writebacks += 1
+            if self.backing is not None and \
+                    self.backing.contains(page_id):
+                elapsed += self.backing.write_page(frame.page)
+            else:
+                self._anonymous_pages[page_id] = frame.page
+        return elapsed
+
+    def _is_pinned(self, page_id: PageId) -> bool:
+        frame = self._frames.get(page_id)
+        return frame is not None and frame.pinned
+
+    # -- migration ---------------------------------------------------------------
+
+    def migrate(self, page_id: PageId, to_tier: int) -> float:
+        """Move a resident page to another tier (promotion/demotion).
+
+        Returns the elapsed ns, which is also recorded as migration
+        time and advances the pool clock.
+        """
+        elapsed = self._migrate_locked(page_id, to_tier, demotion=False)
+        self.clock.advance(elapsed)
+        return elapsed
+
+    def _migrate_locked(self, page_id: PageId, to_tier: int,
+                        demotion: bool,
+                        charge_migration_time: bool = True) -> float:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"cannot migrate non-resident {page_id}")
+        if frame.pinned:
+            raise BufferPoolError(f"cannot migrate pinned page {page_id}")
+        if not 0 <= to_tier < len(self.tiers):
+            raise BufferPoolError(f"invalid tier {to_tier}")
+        from_tier = frame.tier_index
+        if from_tier == to_tier:
+            return 0.0
+        src = self.tiers[from_tier]
+        dst = self.tiers[to_tier]
+        elapsed = self._make_room(to_tier)
+        elapsed += src.path.read_time(self.page_size)
+        elapsed += dst.path.write_time(self.page_size)
+        src.policy.remove(page_id)
+        dst.policy.record_insert(page_id)
+        self._resident_counts[from_tier] -= 1
+        self._resident_counts[to_tier] += 1
+        frame.tier_index = to_tier
+        self.stats.migrations += 1
+        if charge_migration_time:
+            self.stats.migration_time_ns += elapsed
+        tier_stats = self.stats.per_tier[to_tier]
+        if demotion:
+            tier_stats.demotions_in += 1
+        else:
+            tier_stats.promotions_in += 1
+        tier_stats.resident_peak = max(
+            tier_stats.resident_peak, self.tier_residents(to_tier)
+        )
+        return elapsed
+
+    # -- flushing -------------------------------------------------------------------
+
+    def flush_all(self) -> float:
+        """Write every dirty frame back to storage; returns elapsed ns."""
+        elapsed = 0.0
+        for frame in self._frames.values():
+            if not frame.dirty:
+                continue
+            tier = self.tiers[frame.tier_index]
+            elapsed += tier.path.read_time(self.page_size)
+            if self.backing is not None and \
+                    self.backing.contains(frame.page_id):
+                elapsed += self.backing.write_page(frame.page)
+            frame.dirty = False
+            self.stats.writebacks += 1
+        self.clock.advance(elapsed)
+        return elapsed
+
+    def register_page(self, page: Page) -> None:
+        """Register an externally built page as faultable content.
+
+        With a backing file the page is installed there; otherwise it
+        joins the anonymous page set. No tier residency and no timing
+        — the page simply becomes reachable via :meth:`access`.
+        """
+        if self.backing is not None:
+            self.backing.install(page)
+        else:
+            self._anonymous_pages[page.page_id] = page
+
+    def adopt_resident(self, page: Page, tier_index: int) -> None:
+        """Install a page as already resident in a tier, at zero cost.
+
+        Used by warm engine spawn (Sec 3.2): pages cached in pooled
+        CXL memory by a previous engine are adopted by its successor
+        without any I/O or fabric transfer.
+        """
+        if not 0 <= tier_index < len(self.tiers):
+            raise BufferPoolError(f"invalid tier {tier_index}")
+        if page.page_id in self._frames:
+            raise BufferPoolError(f"page {page.page_id} already resident")
+        if self.tier_residents(tier_index) >= \
+                self.tiers[tier_index].capacity_pages:
+            raise BufferPoolError(
+                f"tier {self.tiers[tier_index].name} full; cannot adopt"
+            )
+        self._frames[page.page_id] = Frame(page=page, tier_index=tier_index)
+        self._resident_counts[tier_index] += 1
+        self.tiers[tier_index].policy.record_insert(page.page_id)
+
+    def drop_all(self) -> None:
+        """Empty the pool without timing (test/reset helper)."""
+        for page_id, frame in list(self._frames.items()):
+            self.tiers[frame.tier_index].policy.remove(page_id)
+        self._frames.clear()
+        self._resident_counts = [0] * len(self.tiers)
+
+    def __repr__(self) -> str:
+        tiers = ", ".join(
+            f"{t.name}:{self.tier_residents(i)}/{t.capacity_pages}"
+            for i, t in enumerate(self.tiers)
+        )
+        return f"TieredBufferPool({tiers})"

@@ -1,0 +1,289 @@
+"""The scale-up engine facade.
+
+:class:`ScaleUpEngine` bundles a host, its memory tiers, and a tiered
+buffer pool behind a small API: build a configuration, feed it access
+traces, read back an :class:`EngineReport`. It is the object most
+examples and experiments construct first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .. import config
+from ..errors import ConfigError
+from ..sim.interconnect import AccessPath, Link
+from ..sim.memory import MemoryDevice
+from ..storage.disk import StorageDevice
+from ..storage.file import PageFile
+from ..units import PAGE_SIZE, SECOND, fmt_ns
+from ..workloads.traces import Access
+from .buffer import Tier, TieredBufferPool
+from .placement import DbCostPolicy, PlacementPolicy
+from .temperature import ExactTracker
+
+
+@dataclass
+class EngineReport:
+    """Outcome of running a trace through an engine."""
+
+    name: str
+    ops: int = 0
+    total_ns: float = 0.0
+    demand_ns: float = 0.0
+    think_ns: float = 0.0
+    hit_rate: float = 0.0
+    tier_hit_rates: list[float] = field(default_factory=list)
+    migrations: int = 0
+    misses: int = 0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        """Mean demand latency per access."""
+        if self.ops == 0:
+            return 0.0
+        return self.demand_ns / self.ops
+
+    @property
+    def throughput_ops_per_s(self) -> float:
+        """Accesses per second of virtual time."""
+        if self.total_ns == 0:
+            return 0.0
+        return self.ops / self.total_ns * SECOND
+
+    def slowdown_vs(self, baseline: "EngineReport") -> float:
+        """Runtime ratio against a baseline run of the same trace."""
+        if baseline.total_ns == 0:
+            raise ConfigError("baseline has zero runtime")
+        return self.total_ns / baseline.total_ns
+
+    def __str__(self) -> str:
+        tiers = ", ".join(f"{r:.1%}" for r in self.tier_hit_rates)
+        return (
+            f"EngineReport({self.name}: ops={self.ops:,},"
+            f" time={fmt_ns(self.total_ns)},"
+            f" mean={self.mean_latency_ns:.0f}ns,"
+            f" hit={self.hit_rate:.1%} [{tiers}],"
+            f" migrations={self.migrations})"
+        )
+
+
+@dataclass
+class ConcurrentReport:
+    """Outcome of a multi-threaded run."""
+
+    name: str
+    threads: int = 1
+    ops: int = 0
+    makespan_ns: float = 0.0
+    latency_sum_ns: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    per_thread_ops: dict[int, int] = field(default_factory=dict)
+    latencies_by_thread: dict[int, list[float]] = field(
+        default_factory=dict)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        """Mean access latency across all threads."""
+        if self.ops == 0:
+            return 0.0
+        return self.latency_sum_ns / self.ops
+
+    @property
+    def p95_latency_ns(self) -> float:
+        """95th-percentile access latency."""
+        if not self.latencies:
+            return 0.0
+        from ..metrics.stats import percentile
+        return percentile(self.latencies, 0.95)
+
+    @property
+    def throughput_ops_per_s(self) -> float:
+        """Aggregate accesses per second of virtual time."""
+        if self.makespan_ns <= 0:
+            return 0.0
+        return self.ops / self.makespan_ns * SECOND
+
+    def p95_for(self, threads: Iterable[int]) -> float:
+        """95th-percentile latency restricted to *threads* (e.g. the
+        point-lookup threads in an interference experiment)."""
+        from ..metrics.stats import percentile
+        samples = [
+            latency for thread in threads
+            for latency in self.latencies_by_thread.get(thread, [])
+        ]
+        if not samples:
+            return 0.0
+        return percentile(samples, 0.95)
+
+
+class ScaleUpEngine:
+    """A single-host database engine over tiered (CXL) memory."""
+
+    def __init__(self, pool: TieredBufferPool, name: str = "engine") -> None:
+        self.pool = pool
+        self.name = name
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        dram_pages: int,
+        cxl_pages: int = 0,
+        placement: PlacementPolicy | None = None,
+        cxl_spec: config.MemorySpec | None = None,
+        dram_spec: config.MemorySpec | None = None,
+        through_switch: bool = False,
+        backing: PageFile | None = None,
+        with_storage: bool = True,
+        name: str = "engine",
+        page_size: int = PAGE_SIZE,
+    ) -> "ScaleUpEngine":
+        """Build an engine with a DRAM tier and an optional CXL tier.
+
+        ``through_switch`` adds a CXL 2.0 switch hop to the CXL tier's
+        access path (the Fig 2(b) pooled configuration). With
+        ``with_storage`` (default) and no explicit *backing*, an NVMe
+        page file backs the pool so misses hit storage, as in a
+        disk-based engine.
+        """
+        if dram_pages <= 0:
+            raise ConfigError("dram_pages must be positive")
+        dram_device = MemoryDevice(
+            dram_spec or config.local_ddr5(), name=f"{name}-dram"
+        )
+        tiers = [Tier(
+            name="dram",
+            path=AccessPath(device=dram_device),
+            capacity_pages=dram_pages,
+        )]
+        if cxl_pages > 0:
+            cxl_device = MemoryDevice(
+                cxl_spec or config.cxl_expander_ddr5(), name=f"{name}-cxl"
+            )
+            links: tuple[Link, ...] = (Link(config.cxl_port()),)
+            if through_switch:
+                links += (Link(config.cxl_switch_hop()),)
+            tiers.append(Tier(
+                name="cxl",
+                path=AccessPath(device=cxl_device, links=links),
+                capacity_pages=cxl_pages,
+            ))
+        if backing is None and with_storage:
+            backing = PageFile(StorageDevice(), name=f"{name}-tablespace")
+        pool = TieredBufferPool(
+            tiers=tiers,
+            backing=backing,
+            placement=placement or DbCostPolicy(),
+            tracker=ExactTracker(),
+            page_size=page_size,
+        )
+        return cls(pool, name=name)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, trace: Iterable[Access],
+            label: str | None = None) -> EngineReport:
+        """Execute a trace; returns the run report.
+
+        Each access charges its CPU think time plus the buffer pool's
+        demand latency to the engine clock.
+        """
+        pool = self.pool
+        clock = pool.clock
+        start_ns = clock.now
+        start_accesses = pool.stats.accesses
+        start_misses = pool.stats.misses
+        start_migrations = pool.stats.migrations
+        demand_ns = 0.0
+        think_ns = 0.0
+        ops = 0
+        for access in trace:
+            if access.think_ns:
+                clock.advance(access.think_ns)
+                think_ns += access.think_ns
+            demand_ns += pool.access(
+                access.page_id,
+                nbytes=access.nbytes,
+                write=access.write,
+                is_scan=access.is_scan,
+            )
+            ops += 1
+        stats = pool.stats
+        window = stats.accesses - start_accesses
+        report = EngineReport(
+            name=label or self.name,
+            ops=ops,
+            total_ns=clock.now - start_ns,
+            demand_ns=demand_ns,
+            think_ns=think_ns,
+            migrations=stats.migrations - start_migrations,
+            misses=stats.misses - start_misses,
+        )
+        if window > 0:
+            report.hit_rate = 1.0 - report.misses / window
+            report.tier_hit_rates = [
+                stats.per_tier[i].hits / stats.accesses
+                if stats.accesses else 0.0
+                for i in range(len(pool.tiers))
+            ]
+        return report
+
+    def run_concurrent(self, traces: list[Iterable[Access]],
+                       label: str | None = None
+                       ) -> "ConcurrentReport":
+        """Execute several traces as concurrent threads.
+
+        Threads advance in global time order (the thread with the
+        smallest clock issues next), so bandwidth contention on
+        shared devices and links is resolved in arrival order. Think
+        time overlaps across threads; memory transfers contend.
+        """
+        import heapq
+
+        if not traces:
+            raise ConfigError("need at least one trace")
+        pool = self.pool
+        iterators = [iter(trace) for trace in traces]
+        report = ConcurrentReport(
+            name=label or f"{self.name}-x{len(traces)}",
+            threads=len(traces),
+        )
+        heap: list[tuple[float, int]] = []
+        for thread, iterator in enumerate(iterators):
+            heap.append((0.0, thread))
+        heapq.heapify(heap)
+        thread_end = [0.0] * len(traces)
+        while heap:
+            now, thread = heapq.heappop(heap)
+            try:
+                access = next(iterators[thread])
+            except StopIteration:
+                thread_end[thread] = now
+                continue
+            issue = now + access.think_ns
+            done = pool.access_at(
+                access.page_id, issue, nbytes=access.nbytes,
+                write=access.write, is_scan=access.is_scan,
+            )
+            report.ops += 1
+            report.per_thread_ops[thread] = \
+                report.per_thread_ops.get(thread, 0) + 1
+            report.latency_sum_ns += done - issue
+            report.latencies.append(done - issue)
+            report.latencies_by_thread.setdefault(thread, []).append(
+                done - issue)
+            heapq.heappush(heap, (done, thread))
+        report.makespan_ns = max(thread_end)
+        if pool.clock.now < report.makespan_ns:
+            pool.clock.advance_to(report.makespan_ns)
+        return report
+
+    def warm_with(self, trace: Iterable[Access]) -> None:
+        """Run a trace purely to populate the pool (report discarded)."""
+        self.run(trace, label=f"{self.name}-warmup")
+
+    def __repr__(self) -> str:
+        return f"ScaleUpEngine({self.name!r}, pool={self.pool!r})"

@@ -1,0 +1,53 @@
+"""Buffer frames: the in-memory residence record of a page."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BufferPoolError
+from ..storage.page import Page
+
+
+@dataclass
+class Frame:
+    """One page resident in one tier of the buffer pool."""
+
+    page: Page
+    tier_index: int
+    pin_count: int = 0
+    dirty: bool = False
+    last_access_ns: float = 0.0
+    accesses: int = field(default=0)
+
+    @property
+    def page_id(self) -> int:
+        """Id of the resident page."""
+        return self.page.page_id
+
+    @property
+    def pinned(self) -> bool:
+        """Whether the frame is currently pinned."""
+        return self.pin_count > 0
+
+    def pin(self) -> None:
+        """Pin the frame (prevents eviction and migration)."""
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        """Release one pin."""
+        if self.pin_count <= 0:
+            raise BufferPoolError(
+                f"unpin of unpinned frame for page {self.page_id}"
+            )
+        self.pin_count -= 1
+
+    def touch(self, now_ns: float, write: bool = False) -> None:
+        """Record an access to the frame."""
+        self.accesses += 1
+        self.last_access_ns = now_ns
+        if write:
+            self.dirty = True
+
+    def __repr__(self) -> str:
+        flags = f"{'D' if self.dirty else '-'}{'P' if self.pinned else '-'}"
+        return f"Frame(page={self.page_id}, tier={self.tier_index}, {flags})"

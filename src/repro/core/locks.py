@@ -1,0 +1,138 @@
+"""Lock table with shared/exclusive record locks.
+
+The lock table is the coordination structure the paper highlights for
+CXL: in the rack-scale architecture "the database system lock table
+can be shared" across hosts via coherent memory (Sec 4), instead of
+being partitioned and reached by RPC. Engines charge an access-path
+cost per lock operation, so the same table models a host-local table
+(DRAM latency), a CXL-shared table (CXL latency), or a remote one
+(RDMA RPC latency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import TransactionError
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) locks."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, wanted: LockMode) -> bool:
+    return held is LockMode.SHARED and wanted is LockMode.SHARED
+
+
+@dataclass
+class LockStats:
+    """Lock-table traffic counters."""
+
+    acquires: int = 0
+    releases: int = 0
+    conflicts: int = 0
+    upgrades: int = 0
+
+
+@dataclass
+class _LockEntry:
+    mode: LockMode
+    holders: set[int] = field(default_factory=set)
+
+
+class LockTable:
+    """A record-granularity lock table (no internal waiting).
+
+    ``try_acquire`` returns whether the lock was granted; the caller
+    decides the conflict policy (wait, abort, retry). This keeps the
+    table usable from both the batch-concurrency executor and the
+    discrete-event engines.
+    """
+
+    def __init__(self, name: str = "locktable") -> None:
+        self.name = name
+        self.stats = LockStats()
+        self._locks: dict[object, _LockEntry] = {}
+        self._held_by_txn: dict[int, set[object]] = {}
+
+    def try_acquire(self, txn_id: int, key: object,
+                    mode: LockMode) -> bool:
+        """Attempt to lock *key* in *mode* for a transaction.
+
+        Re-acquiring an already held lock succeeds; a shared holder
+        asking for exclusive succeeds only if it is the sole holder
+        (lock upgrade).
+        """
+        self.stats.acquires += 1
+        entry = self._locks.get(key)
+        if entry is None:
+            self._locks[key] = _LockEntry(mode=mode, holders={txn_id})
+            self._held_by_txn.setdefault(txn_id, set()).add(key)
+            return True
+        if txn_id in entry.holders:
+            if mode is LockMode.EXCLUSIVE and \
+                    entry.mode is LockMode.SHARED:
+                if len(entry.holders) == 1:
+                    entry.mode = LockMode.EXCLUSIVE
+                    self.stats.upgrades += 1
+                    return True
+                self.stats.conflicts += 1
+                return False
+            return True
+        if _compatible(entry.mode, mode):
+            entry.holders.add(txn_id)
+            self._held_by_txn.setdefault(txn_id, set()).add(key)
+            return True
+        self.stats.conflicts += 1
+        return False
+
+    def release_all(self, txn_id: int) -> int:
+        """Release every lock a transaction holds; returns the count."""
+        keys = self._held_by_txn.pop(txn_id, set())
+        for key in keys:
+            entry = self._locks.get(key)
+            if entry is None:
+                continue
+            entry.holders.discard(txn_id)
+            if not entry.holders:
+                del self._locks[key]
+        self.stats.releases += len(keys)
+        return len(keys)
+
+    def holders_of(self, key: object) -> set[int]:
+        """Transactions currently holding a lock on *key*."""
+        entry = self._locks.get(key)
+        return set(entry.holders) if entry else set()
+
+    def mode_of(self, key: object) -> LockMode | None:
+        """Current lock mode of *key* (None if unlocked)."""
+        entry = self._locks.get(key)
+        return entry.mode if entry else None
+
+    def held_count(self, txn_id: int) -> int:
+        """Number of locks a transaction holds."""
+        return len(self._held_by_txn.get(txn_id, ()))
+
+    @property
+    def active_locks(self) -> int:
+        """Number of locked keys."""
+        return len(self._locks)
+
+    def check_consistency(self) -> None:
+        """Raise on internal inconsistency (test helper)."""
+        for key, entry in self._locks.items():
+            if not entry.holders:
+                raise TransactionError(f"empty lock entry for {key}")
+            if entry.mode is LockMode.EXCLUSIVE and len(entry.holders) > 1:
+                raise TransactionError(
+                    f"exclusive lock on {key} with holders {entry.holders}"
+                )
+            for txn in entry.holders:
+                if key not in self._held_by_txn.get(txn, set()):
+                    raise TransactionError(
+                        f"holder index missing {key} for txn {txn}"
+                    )

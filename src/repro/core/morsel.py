@@ -1,0 +1,177 @@
+"""Rack-level morsel-driven query scheduling (Sec 3.3).
+
+"Assuming we now have the freedom to engage a tremendous amount of
+resources to solve individual query operators, how do we schedule the
+machine resources across competing queries?"
+
+Shared coherent memory changes the answer: the morsel queue itself
+can live in CXL shared memory, so *any* thread on *any* host can pull
+the next piece of work — global work stealing with no message-passing
+scheduler. This module compares:
+
+* **static partitioning** — morsels pre-assigned per host (what a
+  shared-nothing engine must do): skewed morsels leave stragglers;
+* **shared-queue stealing** — every dequeue pays one fabric CAS, but
+  no thread ever idles while work remains;
+
+and two multi-query policies on top of the shared queue: FIFO (run
+queries to completion in order) vs fair (round-robin across queries),
+which trades makespan for mean query turnaround.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Morsel:
+    """One unit of query work."""
+
+    query_id: int
+    service_ns: float
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of scheduling a set of queries on the rack."""
+
+    name: str
+    makespan_ns: float = 0.0
+    query_completion_ns: dict[int, float] = field(default_factory=dict)
+    queue_overhead_ns: float = 0.0
+    idle_ns: float = 0.0
+
+    @property
+    def mean_completion_ns(self) -> float:
+        """Mean query completion time."""
+        if not self.query_completion_ns:
+            return 0.0
+        return (sum(self.query_completion_ns.values())
+                / len(self.query_completion_ns))
+
+
+class RackScheduler:
+    """Threads across hosts executing morsels of competing queries."""
+
+    def __init__(self, hosts: int = 4, threads_per_host: int = 8,
+                 dequeue_cost_ns: float = 330.0) -> None:
+        if hosts <= 0 or threads_per_host <= 0:
+            raise ConfigError("hosts and threads must be positive")
+        if dequeue_cost_ns < 0:
+            raise ConfigError("dequeue cost must be non-negative")
+        self.hosts = hosts
+        self.threads_per_host = threads_per_host
+        self.dequeue_cost_ns = dequeue_cost_ns
+
+    @property
+    def total_threads(self) -> int:
+        """Worker threads across the rack."""
+        return self.hosts * self.threads_per_host
+
+    # -- static partitioning ------------------------------------------------
+
+    def run_static(self, queries: list[list[Morsel]]) -> ScheduleOutcome:
+        """Morsels pre-partitioned round-robin across hosts; threads
+        of a host only run their host's share. No queue costs, but a
+        host stuck with heavy morsels cannot shed them."""
+        outcome = ScheduleOutcome(name="static-partitioned")
+        host_morsels: list[list[Morsel]] = [[] for _ in range(self.hosts)]
+        for index, morsel in enumerate(self._flatten(queries)):
+            host_morsels[index % self.hosts].append(morsel)
+        thread_clock = [0.0] * self.total_threads
+        for host, morsels in enumerate(host_morsels):
+            threads = range(host * self.threads_per_host,
+                            (host + 1) * self.threads_per_host)
+            for morsel in morsels:
+                thread = min(threads, key=thread_clock.__getitem__)
+                thread_clock[thread] += morsel.service_ns
+                outcome.query_completion_ns[morsel.query_id] = max(
+                    outcome.query_completion_ns.get(morsel.query_id, 0.0),
+                    thread_clock[thread],
+                )
+        outcome.makespan_ns = max(thread_clock)
+        outcome.idle_ns = sum(
+            outcome.makespan_ns - t for t in thread_clock
+        )
+        return outcome
+
+    # -- shared-queue stealing -------------------------------------------------
+
+    def run_shared_queue(self, queries: list[list[Morsel]],
+                         policy: str = "fifo") -> ScheduleOutcome:
+        """A global morsel queue in CXL shared memory.
+
+        ``policy``: 'fifo' (drain query 0, then 1, ...) or 'fair'
+        (round-robin one morsel per query per cycle).
+        """
+        if policy not in ("fifo", "fair"):
+            raise ConfigError(f"unknown policy {policy!r}")
+        ordered = (self._flatten(queries) if policy == "fifo"
+                   else self._round_robin(queries))
+        outcome = ScheduleOutcome(name=f"shared-queue-{policy}")
+        thread_clock = [0.0] * self.total_threads
+        for morsel in ordered:
+            thread = min(range(self.total_threads),
+                         key=thread_clock.__getitem__)
+            thread_clock[thread] += self.dequeue_cost_ns \
+                + morsel.service_ns
+            outcome.queue_overhead_ns += self.dequeue_cost_ns
+            outcome.query_completion_ns[morsel.query_id] = max(
+                outcome.query_completion_ns.get(morsel.query_id, 0.0),
+                thread_clock[thread],
+            )
+        outcome.makespan_ns = max(thread_clock)
+        outcome.idle_ns = sum(
+            outcome.makespan_ns - t for t in thread_clock
+        )
+        return outcome
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _flatten(queries: list[list[Morsel]]) -> list[Morsel]:
+        if not queries or not any(queries):
+            raise ConfigError("no morsels to schedule")
+        return [m for query in queries for m in query]
+
+    @staticmethod
+    def _round_robin(queries: list[list[Morsel]]) -> list[Morsel]:
+        if not queries or not any(queries):
+            raise ConfigError("no morsels to schedule")
+        ordered: list[Morsel] = []
+        cursors = [0] * len(queries)
+        remaining = sum(len(q) for q in queries)
+        while remaining:
+            for index, query in enumerate(queries):
+                if cursors[index] < len(query):
+                    ordered.append(query[cursors[index]])
+                    cursors[index] += 1
+                    remaining -= 1
+        return ordered
+
+
+def skewed_queries(num_queries: int = 4, morsels_per_query: int = 400,
+                   mean_service_ns: float = 50_000.0,
+                   skew: float = 8.0, seed: int = 23
+                   ) -> list[list[Morsel]]:
+    """Queries whose morsel sizes are heavy-tailed (Pareto-ish): the
+    realistic case where static partitioning leaves stragglers."""
+    if num_queries <= 0 or morsels_per_query <= 0:
+        raise ConfigError("queries and morsels must be positive")
+    rng = random.Random(seed)
+    queries = []
+    for query_id in range(num_queries):
+        morsels = []
+        for _ in range(morsels_per_query):
+            if rng.random() < 0.05:
+                service = mean_service_ns * skew * rng.uniform(0.5, 2.0)
+            else:
+                service = mean_service_ns * rng.uniform(0.2, 1.2)
+            morsels.append(Morsel(query_id=query_id,
+                                  service_ns=service))
+        queries.append(morsels)
+    return queries

@@ -1,0 +1,300 @@
+"""Data-placement policies across memory tiers.
+
+These answer the Sec 3.1 research questions: who should decide where a
+page lives — the OS or the database engine — and how should data
+structures span conventional and CXL memory?
+
+* :class:`OSPagingPolicy` — what Meta's TPP does: admit to fast
+  memory, sample access bits, demote cold pages under memory pressure,
+  promote pages the sampler happens to observe. Workload-blind.
+* :class:`DbCostPolicy` — the paper's position [11]: the engine sees
+  every logical access, discounts sequential scans, and periodically
+  solves "hottest pages in the fastest tier" exactly.
+* :class:`StaticPolicy` — explicit placement by page class, modelling
+  the HTAP configuration of Sec 3.1 (OLTP on local DRAM, OLAP data
+  structures on CXL, no interference).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from ..errors import BufferPoolError
+from .temperature import ExactTracker, SampledTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .buffer import TieredBufferPool
+
+
+class PlacementPolicy(Protocol):
+    """Interface the buffer pool drives."""
+
+    def attach(self, pool: "TieredBufferPool") -> None:
+        """Bind the policy to its pool (called once by the pool)."""
+
+    def choose_admit_tier(self, page_id: int, is_scan: bool = False) -> int:
+        """Tier index for a freshly faulted page."""
+
+    def on_access(self, page_id: int, tier_index: int,
+                  is_scan: bool = False) -> None:
+        """Observe an access; may migrate pages as a side effect."""
+
+    def demote_target(self, tier_index: int) -> int | None:
+        """Where evictions from a tier drain: a slower tier index, or
+        None for backing storage."""
+
+
+class _BasePolicy:
+    """Shared plumbing: pool binding and cascade demotion."""
+
+    def __init__(self) -> None:
+        self._pool: "TieredBufferPool | None" = None
+
+    def attach(self, pool: "TieredBufferPool") -> None:
+        """Bind to the owning pool."""
+        self._pool = pool
+
+    @property
+    def pool(self) -> "TieredBufferPool":
+        """The bound pool (raises if unattached)."""
+        if self._pool is None:
+            raise BufferPoolError("policy not attached to a pool")
+        return self._pool
+
+    def demote_target(self, tier_index: int) -> int | None:
+        """Cascade: tier i drains into tier i+1; the last tier drains
+        to storage."""
+        if tier_index + 1 < len(self.pool.tiers):
+            return tier_index + 1
+        return None
+
+
+class StaticPolicy(_BasePolicy):
+    """Fixed placement by page class; no migration.
+
+    ``classifier`` maps a page id to a tier index. Pages never move;
+    evictions drain straight to storage so tiers stay isolated (the
+    HTAP property: OLTP pages can never be pushed out by OLAP pages).
+    """
+
+    def __init__(self, classifier: Callable[[int], int]) -> None:
+        super().__init__()
+        self.classifier = classifier
+
+    def choose_admit_tier(self, page_id: int, is_scan: bool = False) -> int:
+        """The class-assigned tier, clamped to the available tiers."""
+        del is_scan
+        tier = self.classifier(page_id)
+        return max(0, min(tier, len(self.pool.tiers) - 1))
+
+    def on_access(self, page_id: int, tier_index: int,
+                  is_scan: bool = False) -> None:
+        """Static placement: nothing to do."""
+
+    def demote_target(self, tier_index: int) -> int | None:
+        """Straight to storage — tiers are isolated."""
+        return None
+
+
+class OSPagingPolicy(_BasePolicy):
+    """TPP-style OS page placement (ASPLOS'23, paper ref [34]).
+
+    Behaviour modelled:
+
+    * new pages are admitted to the fast (top) tier — TPP's
+      "allocate local, demote later";
+    * a sampled tracker observes a small fraction of accesses (the
+      page-table access-bit scan);
+    * every ``check_interval`` accesses, pages the sampler considers
+      hot but that live in slow tiers are promoted, as long as the
+      fast tier is below its high watermark;
+    * scans are invisible: the OS cannot tell a scan from hot traffic.
+    """
+
+    def __init__(self, sample_rate: float = 0.01,
+                 check_interval: int = 2_000,
+                 promote_min_heat: float = 2.0,
+                 high_watermark: float = 0.95,
+                 low_watermark: float = 0.85,
+                 max_moves_per_check: int = 64) -> None:
+        super().__init__()
+        if not 0.0 < low_watermark <= high_watermark <= 1.0:
+            raise BufferPoolError("invalid watermarks")
+        self.tracker = SampledTracker(sample_rate=sample_rate)
+        self.check_interval = check_interval
+        self.promote_min_heat = promote_min_heat
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.max_moves_per_check = max_moves_per_check
+        self._accesses = 0
+
+    def choose_admit_tier(self, page_id: int, is_scan: bool = False) -> int:
+        """Admit to the fast tier if it has headroom, else the next
+        tier down (first-touch NUMA-style allocation)."""
+        del page_id, is_scan
+        pool = self.pool
+        for index, tier in enumerate(pool.tiers):
+            if pool.tier_residents(index) < tier.capacity_pages:
+                return index
+        return len(pool.tiers) - 1
+
+    def on_access(self, page_id: int, tier_index: int,
+                  is_scan: bool = False) -> None:
+        """Sample the access; periodically run the promotion scan."""
+        del tier_index
+        self.tracker.record(page_id, is_scan=is_scan)
+        self._accesses += 1
+        if self._accesses % self.check_interval == 0:
+            self._demote_pass()
+            self._promote_pass()
+
+    def _demote_pass(self) -> None:
+        """kswapd-style: keep the fast tier below its high watermark by
+        demoting the coldest (least-sampled) pages to the next tier."""
+        pool = self.pool
+        if len(pool.tiers) < 2:
+            return
+        fast = pool.tiers[0]
+        high = int(fast.capacity_pages * self.high_watermark)
+        low = int(fast.capacity_pages * self.low_watermark)
+        if pool.tier_residents(0) < high:
+            return
+        budget = self.max_moves_per_check
+        residents = sorted(pool.resident_in(0), key=self.tracker.heat)
+        for page_id in residents:
+            if budget == 0 or pool.tier_residents(0) <= low:
+                break
+            frame = pool.frame_of(page_id)
+            if frame is None or frame.pinned:
+                continue
+            pool.migrate(page_id, 1)
+            budget -= 1
+
+    def _promote_pass(self) -> None:
+        pool = self.pool
+        fast = pool.tiers[0]
+        budget = self.max_moves_per_check
+        limit = int(fast.capacity_pages * self.high_watermark)
+        for page_id in self.tracker.hottest(4 * budget):
+            if budget == 0:
+                break
+            if pool.tier_residents(0) >= limit:
+                break
+            if self.tracker.heat(page_id) < self.promote_min_heat:
+                break
+            frame = pool.frame_of(page_id)
+            if frame is None or frame.tier_index == 0 or frame.pinned:
+                continue
+            pool.migrate(page_id, 0)
+            budget -= 1
+
+
+class DbCostPolicy(_BasePolicy):
+    """Engine-driven cost-based placement (the paper's position).
+
+    The engine tracks exact, scan-discounted page heat and periodically
+    re-solves the placement: the hottest pages belong in the fastest
+    tier. Pages faulted in by scans are admitted directly to the CXL
+    tier so a one-shot analytical scan never displaces the
+    transactional working set (Sec 3.1's HTAP motivation).
+    """
+
+    def __init__(self, rebalance_interval: int = 5_000,
+                 max_moves_per_rebalance: int = 128,
+                 scan_admit_slow: bool = True,
+                 tracker: ExactTracker | None = None) -> None:
+        super().__init__()
+        self.rebalance_interval = rebalance_interval
+        self.max_moves_per_rebalance = max_moves_per_rebalance
+        self.scan_admit_slow = scan_admit_slow
+        self._tracker = tracker
+        self._accesses = 0
+
+    def attach(self, pool: "TieredBufferPool") -> None:
+        """Bind and share the pool's exact tracker."""
+        super().attach(pool)
+        if self._tracker is None:
+            tracker = pool.tracker
+            if not isinstance(tracker, ExactTracker):
+                tracker = ExactTracker()
+            self._tracker = tracker
+
+    @property
+    def tracker(self) -> ExactTracker:
+        """The engine-side exact temperature tracker."""
+        if self._tracker is None:
+            raise BufferPoolError("policy not attached to a pool")
+        return self._tracker
+
+    def choose_admit_tier(self, page_id: int, is_scan: bool = False) -> int:
+        """Admit scans to the slow tier; everything else to the
+        fastest tier with headroom."""
+        pool = self.pool
+        if is_scan and self.scan_admit_slow and len(pool.tiers) > 1:
+            return 1
+        for index, tier in enumerate(pool.tiers):
+            if pool.tier_residents(index) < tier.capacity_pages:
+                return index
+        return 0
+
+    def on_access(self, page_id: int, tier_index: int,
+                  is_scan: bool = False) -> None:
+        """Count accesses; rebalance placement periodically."""
+        del page_id, tier_index, is_scan  # pool already fed the tracker
+        self._accesses += 1
+        if self._accesses % self.rebalance_interval == 0:
+            self.rebalance()
+
+    def rebalance(self) -> int:
+        """Promote the hottest misplaced pages / demote the coldest.
+
+        Returns the number of migrations performed. The solve is
+        greedy: compare the heat of slow-tier pages against the
+        coldest fast-tier residents and swap while profitable.
+        """
+        pool = self.pool
+        if len(pool.tiers) < 2:
+            return 0
+        tracker = self.tracker
+        fast_capacity = pool.tiers[0].capacity_pages
+        fast_residents = list(pool.resident_in(0))
+        slow_residents = [
+            pid for index in range(1, len(pool.tiers))
+            for pid in pool.resident_in(index)
+        ]
+        moves = 0
+        # Fill unused fast capacity with the hottest slow pages.
+        headroom = fast_capacity - len(fast_residents)
+        if headroom > 0:
+            candidates = sorted(
+                slow_residents, key=tracker.heat, reverse=True
+            )[:headroom]
+            for page_id in candidates:
+                if moves >= self.max_moves_per_rebalance:
+                    return moves
+                if self._movable(page_id):
+                    pool.migrate(page_id, 0)
+                    moves += 1
+            fast_residents = list(pool.resident_in(0))
+            slow_residents = [
+                pid for index in range(1, len(pool.tiers))
+                for pid in pool.resident_in(index)
+            ]
+        # Swap: hottest slow page vs coldest fast page.
+        hot_slow = sorted(slow_residents, key=tracker.heat, reverse=True)
+        cold_fast = sorted(fast_residents, key=tracker.heat)
+        for slow_pid, fast_pid in zip(hot_slow, cold_fast):
+            if moves + 2 > self.max_moves_per_rebalance:
+                break
+            if tracker.heat(slow_pid) <= tracker.heat(fast_pid) + 1e-9:
+                break
+            if not (self._movable(slow_pid) and self._movable(fast_pid)):
+                continue
+            pool.migrate(fast_pid, 1)
+            pool.migrate(slow_pid, 0)
+            moves += 2
+        return moves
+
+    def _movable(self, page_id: int) -> bool:
+        frame = self.pool.frame_of(page_id)
+        return frame is not None and not frame.pinned

@@ -1,0 +1,253 @@
+"""Buffer replacement policies.
+
+Classic database eviction policies, each implementing
+:class:`ReplacementPolicy`. They operate on opaque integer keys (page
+ids within one tier) and must tolerate a *pinned* predicate: pinned
+pages cannot be chosen as victims.
+
+The paper (Sec 3.1) argues a database engine "can better calculate the
+utility of keeping a page in a given memory tier than the OS" [11];
+these policies are the engine-side machinery that claim rests on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Protocol
+
+from ..errors import BufferPoolError
+
+Pinned = Callable[[int], bool]
+
+
+def _never_pinned(_key: int) -> bool:
+    return False
+
+
+class ReplacementPolicy(Protocol):
+    """Interface every eviction policy implements."""
+
+    def record_insert(self, key: int) -> None:
+        """A new page entered the tier."""
+
+    def record_access(self, key: int) -> None:
+        """An existing page was touched."""
+
+    def remove(self, key: int) -> None:
+        """A page left the tier (evicted or migrated)."""
+
+    def victim(self, pinned: Pinned = _never_pinned) -> int | None:
+        """Choose an evictable page, or None if all are pinned."""
+
+    def __len__(self) -> int:
+        """Number of tracked pages."""
+
+
+class LRUPolicy:
+    """Least-recently-used, the textbook default."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def record_insert(self, key: int) -> None:
+        """Track a new page as most-recently used."""
+        if key in self._order:
+            raise BufferPoolError(f"duplicate insert of {key}")
+        self._order[key] = None
+
+    def record_access(self, key: int) -> None:
+        """Move a page to the MRU end."""
+        if key not in self._order:
+            raise BufferPoolError(f"access to untracked {key}")
+        self._order.move_to_end(key)
+
+    def remove(self, key: int) -> None:
+        """Stop tracking a page."""
+        self._order.pop(key, None)
+
+    def victim(self, pinned: Pinned = _never_pinned) -> int | None:
+        """The least-recently-used unpinned page."""
+        for key in self._order:
+            if not pinned(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class ClockPolicy:
+    """CLOCK (second chance): one reference bit, a sweeping hand."""
+
+    def __init__(self) -> None:
+        self._ref: OrderedDict[int, bool] = OrderedDict()
+
+    def record_insert(self, key: int) -> None:
+        """Track a new page with its reference bit set."""
+        if key in self._ref:
+            raise BufferPoolError(f"duplicate insert of {key}")
+        self._ref[key] = True
+
+    def record_access(self, key: int) -> None:
+        """Set the page's reference bit."""
+        if key not in self._ref:
+            raise BufferPoolError(f"access to untracked {key}")
+        self._ref[key] = True
+
+    def remove(self, key: int) -> None:
+        """Stop tracking a page."""
+        self._ref.pop(key, None)
+
+    def victim(self, pinned: Pinned = _never_pinned) -> int | None:
+        """Sweep: clear reference bits until an unreferenced,
+        unpinned page is found (at most two passes)."""
+        if not self._ref:
+            return None
+        for _sweep in range(2 * len(self._ref)):
+            key, referenced = next(iter(self._ref.items()))
+            self._ref.move_to_end(key)
+            if pinned(key):
+                continue
+            if referenced:
+                self._ref[key] = False
+            else:
+                return key
+        # All unpinned pages were referenced twice in a row: fall back
+        # to the current hand position.
+        for key in self._ref:
+            if not pinned(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._ref)
+
+
+class TwoQPolicy:
+    """2Q: a FIFO probation queue (A1in) plus an LRU main queue (Am).
+
+    Scan-resistant: a page only reaches the protected LRU queue when it
+    is re-referenced after entering probation, so one-shot scans wash
+    through A1in without evicting the hot set.
+    """
+
+    def __init__(self, probation_fraction: float = 0.25) -> None:
+        if not 0.0 < probation_fraction < 1.0:
+            raise BufferPoolError(
+                f"probation fraction must be in (0,1): {probation_fraction}"
+            )
+        self.probation_fraction = probation_fraction
+        self._a1in: OrderedDict[int, None] = OrderedDict()
+        self._am: OrderedDict[int, None] = OrderedDict()
+
+    def record_insert(self, key: int) -> None:
+        """New pages enter probation."""
+        if key in self._a1in or key in self._am:
+            raise BufferPoolError(f"duplicate insert of {key}")
+        self._a1in[key] = None
+
+    def record_access(self, key: int) -> None:
+        """A re-reference promotes probation pages to the main queue."""
+        if key in self._a1in:
+            del self._a1in[key]
+            self._am[key] = None
+        elif key in self._am:
+            self._am.move_to_end(key)
+        else:
+            raise BufferPoolError(f"access to untracked {key}")
+
+    def remove(self, key: int) -> None:
+        """Stop tracking a page."""
+        self._a1in.pop(key, None)
+        self._am.pop(key, None)
+
+    def victim(self, pinned: Pinned = _never_pinned) -> int | None:
+        """Prefer evicting from probation when it is over its share."""
+        total = len(self)
+        a1_target = max(1, int(total * self.probation_fraction))
+        queues = (
+            (self._a1in, self._am)
+            if len(self._a1in) >= a1_target
+            else (self._am, self._a1in)
+        )
+        for queue in queues:
+            for key in queue:
+                if not pinned(key):
+                    return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+
+class LRUKPolicy:
+    """LRU-K (K=2 by default): evict by K-th most recent reference.
+
+    Pages with fewer than K references are treated as infinitely old on
+    their K-th reference and evicted first (classic O'Neil behaviour),
+    which also gives scan resistance.
+    """
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise BufferPoolError(f"K must be >= 1: {k}")
+        self.k = k
+        self._tick = 0
+        self._history: dict[int, deque[int]] = {}
+
+    def record_insert(self, key: int) -> None:
+        """Track a new page with one reference."""
+        if key in self._history:
+            raise BufferPoolError(f"duplicate insert of {key}")
+        self._tick += 1
+        self._history[key] = deque([self._tick], maxlen=self.k)
+
+    def record_access(self, key: int) -> None:
+        """Record another reference timestamp."""
+        if key not in self._history:
+            raise BufferPoolError(f"access to untracked {key}")
+        self._tick += 1
+        self._history[key].append(self._tick)
+
+    def remove(self, key: int) -> None:
+        """Stop tracking a page."""
+        self._history.pop(key, None)
+
+    def victim(self, pinned: Pinned = _never_pinned) -> int | None:
+        """The page whose K-th most recent reference is oldest."""
+        best_key: int | None = None
+        best_rank: tuple[int, int] | None = None
+        for key, history in self._history.items():
+            if pinned(key):
+                continue
+            if len(history) < self.k:
+                rank = (0, history[0])       # < K references: evict first
+            else:
+                rank = (1, history[0])       # history[0] == K-th recent ref
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_key = key
+        return best_key
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+
+POLICIES: dict[str, Callable[[], ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "clock": ClockPolicy,
+    "2q": TwoQPolicy,
+    "lruk": LRUKPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a policy by its short name ('lru', 'clock', '2q',
+    'lruk')."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise BufferPoolError(
+            f"unknown replacement policy {name!r};"
+            f" choose from {sorted(POLICIES)}"
+        ) from None

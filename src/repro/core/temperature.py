@@ -1,0 +1,164 @@
+"""Page-temperature tracking.
+
+Tiering policies need to know which pages are hot. The paper contrasts
+two vantage points (Sec 3.1):
+
+* the **OS** tracks temperature by sampling page-table access bits
+  (as Meta's TPP does) — cheap but approximate and workload-blind;
+* the **database engine** sees every logical page access and "can
+  better calculate the utility of keeping a page in a given memory
+  tier than the OS" [11].
+
+:class:`ExactTracker` models the engine view; :class:`SampledTracker`
+models the OS view with a configurable sampling rate and periodic
+aging. Both expose the same small interface.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Iterable, Protocol
+
+from ..errors import ConfigError
+
+
+class TemperatureTracker(Protocol):
+    """Interface shared by engine-side and OS-side trackers."""
+
+    def record(self, page_id: int, is_scan: bool = False) -> None:
+        """Observe one access to a page."""
+
+    def heat(self, page_id: int) -> float:
+        """Current hotness estimate (higher = hotter)."""
+
+    def hottest(self, n: int) -> list[int]:
+        """The *n* hottest tracked pages."""
+
+    def coldest(self, n: int) -> list[int]:
+        """The *n* coldest tracked pages."""
+
+    def forget(self, page_id: int) -> None:
+        """Stop tracking a page."""
+
+
+class ExactTracker:
+    """Engine-side tracker: exponentially decayed access frequency.
+
+    Each access adds 1 to the page's heat; all heats decay by ``decay``
+    per *epoch* (every ``epoch_accesses`` observed accesses), so heat
+    approximates recent access frequency. Scan accesses can be
+    discounted (``scan_weight``): the engine knows a sequential scan
+    will not re-touch a page soon, a key advantage over the OS view.
+    """
+
+    def __init__(self, decay: float = 0.5, epoch_accesses: int = 10_000,
+                 scan_weight: float = 0.1) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ConfigError(f"decay must be in (0,1]: {decay}")
+        if epoch_accesses <= 0:
+            raise ConfigError("epoch_accesses must be positive")
+        if scan_weight < 0:
+            raise ConfigError("scan_weight must be non-negative")
+        self.decay = decay
+        self.epoch_accesses = epoch_accesses
+        self.scan_weight = scan_weight
+        self._heat: dict[int, float] = {}
+        self._since_epoch = 0
+
+    def record(self, page_id: int, is_scan: bool = False) -> None:
+        """Observe one access (scans get a reduced weight)."""
+        weight = self.scan_weight if is_scan else 1.0
+        self._heat[page_id] = self._heat.get(page_id, 0.0) + weight
+        self._since_epoch += 1
+        if self._since_epoch >= self.epoch_accesses:
+            self._age()
+
+    def _age(self) -> None:
+        self._since_epoch = 0
+        if self.decay >= 1.0:
+            return
+        self._heat = {
+            pid: h * self.decay for pid, h in self._heat.items()
+            if h * self.decay > 1e-6
+        }
+
+    def heat(self, page_id: int) -> float:
+        """Decayed access frequency of the page."""
+        return self._heat.get(page_id, 0.0)
+
+    def hottest(self, n: int) -> list[int]:
+        """The *n* pages with highest heat."""
+        return heapq.nlargest(n, self._heat, key=self._heat.__getitem__)
+
+    def coldest(self, n: int) -> list[int]:
+        """The *n* pages with lowest heat."""
+        return heapq.nsmallest(n, self._heat, key=self._heat.__getitem__)
+
+    def forget(self, page_id: int) -> None:
+        """Drop the page's history."""
+        self._heat.pop(page_id, None)
+
+    def tracked(self) -> Iterable[int]:
+        """Page ids with non-zero heat."""
+        return self._heat.keys()
+
+
+class SampledTracker:
+    """OS-side tracker: sampled accesses, no workload knowledge.
+
+    Models page-table access-bit scanning a la TPP/kstaled: only a
+    fraction ``sample_rate`` of accesses is observed, scans look
+    exactly like random accesses (the OS cannot tell), and heat is a
+    coarse counter aged periodically.
+    """
+
+    def __init__(self, sample_rate: float = 0.01, decay: float = 0.5,
+                 epoch_accesses: int = 10_000,
+                 seed: int | None = 0x5eed) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ConfigError(f"sample_rate must be in (0,1]: {sample_rate}")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigError(f"decay must be in (0,1]: {decay}")
+        self.sample_rate = sample_rate
+        self.decay = decay
+        self.epoch_accesses = epoch_accesses
+        self._rng = random.Random(seed)
+        self._heat: dict[int, float] = {}
+        self._since_epoch = 0
+
+    def record(self, page_id: int, is_scan: bool = False) -> None:
+        """Observe one access; most are missed by sampling, and
+        *is_scan* is ignored — the OS cannot distinguish scans."""
+        del is_scan  # the OS-side tracker is workload-blind
+        self._since_epoch += 1
+        if self._since_epoch >= self.epoch_accesses:
+            self._age()
+        if self._rng.random() >= self.sample_rate:
+            return
+        self._heat[page_id] = self._heat.get(page_id, 0.0) + 1.0
+
+    def _age(self) -> None:
+        self._since_epoch = 0
+        if self.decay >= 1.0:
+            return
+        self._heat = {
+            pid: h * self.decay for pid, h in self._heat.items()
+            if h * self.decay > 1e-6
+        }
+
+    def heat(self, page_id: int) -> float:
+        """Sampled hotness estimate."""
+        return self._heat.get(page_id, 0.0)
+
+    def hottest(self, n: int) -> list[int]:
+        """The *n* pages with highest sampled heat."""
+        return heapq.nlargest(n, self._heat, key=self._heat.__getitem__)
+
+    def coldest(self, n: int) -> list[int]:
+        """The *n* pages with lowest sampled heat (among observed)."""
+        return heapq.nsmallest(n, self._heat, key=self._heat.__getitem__)
+
+    def forget(self, page_id: int) -> None:
+        """Drop the page's history."""
+        self._heat.pop(page_id, None)

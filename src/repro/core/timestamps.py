@@ -1,0 +1,162 @@
+"""Timestamp oracles over the memory hierarchy (Sec 4).
+
+The paper suggests CXL can improve "fundamental mechanisms that are
+central to OLTP, such as collective communication, locking,
+timestamps". A timestamp oracle is the cleanest case: every
+transaction needs a monotonically increasing number, and the cost of
+getting one bounds commit throughput.
+
+Three implementations are modelled:
+
+* :class:`LocalAtomicOracle` — a fetch-and-add in one host's DRAM:
+  fastest, but only reachable by that host's threads; other hosts
+  need an RPC (that's :class:`RPCOracle` for them);
+* :class:`CXLSharedOracle` — a fetch-and-add on a line in shared CXL
+  memory: every host pays one fabric RFO, no server component;
+* :class:`RPCOracle` — the scale-out answer: a timestamp server
+  reached over RDMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import config
+from ..errors import ConfigError
+from ..sim.interconnect import AccessPath, Link
+from ..sim.memory import MemoryDevice
+from ..sim.rdma import RDMAFabric
+from ..units import SECOND
+
+
+@dataclass
+class OracleStats:
+    """Issued-timestamp accounting."""
+
+    issued: int = 0
+    time_ns: float = 0.0
+
+    @property
+    def mean_cost_ns(self) -> float:
+        """Mean cost per timestamp."""
+        if self.issued == 0:
+            return 0.0
+        return self.time_ns / self.issued
+
+
+class LocalAtomicOracle:
+    """Fetch-and-add in the owning host's DRAM (same-host callers)."""
+
+    name = "local-atomic"
+
+    def __init__(self, path: AccessPath | None = None) -> None:
+        self.path = path or AccessPath(
+            device=MemoryDevice(config.local_ddr5()))
+        self.stats = OracleStats()
+        self._counter = 0
+
+    def next_timestamp(self) -> tuple[int, float]:
+        """Returns (timestamp, cost in ns)."""
+        self._counter += 1
+        # Atomic RMW on a local line: one cache-coherent access.
+        cost = self.path.read_latency_ns()
+        self.stats.issued += 1
+        self.stats.time_ns += cost
+        return self._counter, cost
+
+
+class CXLSharedOracle:
+    """Fetch-and-add on a line in rack-shared CXL memory.
+
+    Any host's thread can call this; the cost is one read-for-
+    ownership on the fabric. Under contention the line ping-pongs, so
+    an expected serialization term scales with the number of
+    concurrently incrementing hosts.
+    """
+
+    name = "cxl-shared"
+
+    def __init__(self, path: AccessPath | None = None,
+                 contending_hosts: int = 1) -> None:
+        if contending_hosts < 1:
+            raise ConfigError("need at least one host")
+        if path is None:
+            device = MemoryDevice(config.cxl_expander_ddr5())
+            path = AccessPath(device=device, links=(
+                Link(config.cxl_port()), Link(config.cxl_switch_hop()),
+            ))
+        self.path = path
+        self.contending_hosts = contending_hosts
+        self.stats = OracleStats()
+        self._counter = 0
+
+    def next_timestamp(self) -> tuple[int, float]:
+        """Returns (timestamp, cost in ns)."""
+        self._counter += 1
+        rfo = self.path.read_latency_ns()
+        # Expected wait for the line while other hosts hold it in M.
+        contention = rfo * 0.5 * (self.contending_hosts - 1)
+        cost = rfo + contention
+        self.stats.issued += 1
+        self.stats.time_ns += cost
+        return self._counter, cost
+
+
+class RPCOracle:
+    """A timestamp server reached over the network (scale-out)."""
+
+    name = "rpc"
+
+    def __init__(self, fabric: RDMAFabric | None = None,
+                 batch: int = 1) -> None:
+        if batch < 1:
+            raise ConfigError("batch must be >= 1")
+        if fabric is None:
+            fabric = RDMAFabric()
+            fabric.add_host("client")
+            fabric.add_host("tso")
+        self.fabric = fabric
+        self.batch = batch
+        self.stats = OracleStats()
+        self._counter = 0
+        self._cached: int = 0
+
+    def next_timestamp(self) -> tuple[int, float]:
+        """Returns (timestamp, cost in ns). Batching amortizes the
+        round trip over ``batch`` timestamps (TSO leases)."""
+        self._counter += 1
+        if self._cached == 0:
+            cost = self.fabric.rpc_time("client", "tso", 64, 64)
+            self._cached = self.batch
+        else:
+            cost = 5.0  # consume from the leased range
+        self._cached -= 1
+        self.stats.issued += 1
+        self.stats.time_ns += cost
+        return self._counter, cost
+
+
+@dataclass
+class OracleComparison:
+    """Throughput bound per oracle at a given host count."""
+
+    rows: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def add(self, name: str, mean_cost_ns: float) -> None:
+        """Record one oracle's mean cost."""
+        bound = SECOND / mean_cost_ns if mean_cost_ns > 0 else 0.0
+        self.rows.append((name, mean_cost_ns, bound))
+
+
+def compare_oracles(hosts: int = 4, draws: int = 2_000,
+                    rpc_batch: int = 1) -> OracleComparison:
+    """Issue *draws* timestamps from each oracle; return mean costs."""
+    comparison = OracleComparison()
+    local = LocalAtomicOracle()
+    shared = CXLSharedOracle(contending_hosts=hosts)
+    rpc = RPCOracle(batch=rpc_batch)
+    for oracle in (local, shared, rpc):
+        for _ in range(draws):
+            oracle.next_timestamp()
+        comparison.add(oracle.name, oracle.stats.mean_cost_ns)
+    return comparison

@@ -1,0 +1,195 @@
+"""Write-ahead logging across the new memory hierarchy.
+
+Sec 3.3 points at pooling modules "with different mixes of volatile
+and non-volatile memory" (CMM-H-style devices, ref [48]) and Sec 4 at
+CXL improving "mechanisms central to OLTP". The log is the mechanism
+most sensitive to where durability lives:
+
+* NVMe group commit — the classic disk-based force (~20 us);
+* CXL NVM expander — byte-addressable persistence at sub-us stores;
+* RDMA-replicated DRAM — durability by copying to other servers;
+* battery-backed local DRAM — the (optimistic) lower bound.
+
+:class:`WriteAheadLog` models group commit over any backend and
+reports per-transaction commit latencies, so experiment A7 can
+compare backends at equal workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from .. import config
+from ..errors import ConfigError
+from ..metrics.stats import StreamingStats
+from ..sim.interconnect import AccessPath, Link
+from ..sim.memory import MemoryDevice
+from ..sim.rdma import RDMAFabric
+from ..storage.disk import StorageDevice
+
+#: A force function: batch size in bytes -> force duration in ns.
+ForceFn = Callable[[int], float]
+
+
+class LogBackend(Protocol):
+    """A durability backend for the log."""
+
+    name: str
+
+    def force_time_ns(self, batch_bytes: int) -> float:
+        """Time to make *batch_bytes* durable."""
+
+
+@dataclass
+class NVMeLogBackend:
+    """Classic group commit to an NVMe SSD."""
+
+    device: StorageDevice
+    name: str = "nvme"
+
+    def force_time_ns(self, batch_bytes: int) -> float:
+        """One write I/O per force."""
+        return self.device.write_time(max(batch_bytes, 4096))
+
+
+@dataclass
+class CXLNVMLogBackend:
+    """Byte-addressable persistent stores into a CXL NVM expander."""
+
+    path: AccessPath
+    name: str = "cxl-nvm"
+
+    @classmethod
+    def build(cls) -> "CXLNVMLogBackend":
+        """A CMM-H-style expander on a local CXL port."""
+        device = MemoryDevice(config.cxl_expander_nvm())
+        return cls(path=AccessPath(device=device,
+                                   links=(Link(config.cxl_port()),)))
+
+    def force_time_ns(self, batch_bytes: int) -> float:
+        """A persistent store plus a flush fence."""
+        return self.path.write_time(batch_bytes)
+
+
+@dataclass
+class RDMAReplicatedLogBackend:
+    """Durability by replicating the batch to remote DRAM."""
+
+    fabric: RDMAFabric
+    replicas: int = 2
+    name: str = "rdma-replicated"
+
+    @classmethod
+    def build(cls, replicas: int = 2) -> "RDMAReplicatedLogBackend":
+        fabric = RDMAFabric()
+        fabric.add_host("primary")
+        for index in range(replicas):
+            fabric.add_host(f"replica{index}")
+        return cls(fabric=fabric, replicas=replicas)
+
+    def force_time_ns(self, batch_bytes: int) -> float:
+        """Writes proceed in parallel; latency is the slowest replica
+        (identical models here, so any one of them)."""
+        times = [
+            self.fabric.one_sided_write_time(
+                "primary", f"replica{index}", batch_bytes
+            )
+            for index in range(self.replicas)
+        ]
+        return max(times)
+
+
+@dataclass
+class BatteryDRAMLogBackend:
+    """Battery-backed local DRAM: the optimistic bound."""
+
+    path: AccessPath
+    name: str = "battery-dram"
+
+    @classmethod
+    def build(cls) -> "BatteryDRAMLogBackend":
+        return cls(path=AccessPath(
+            device=MemoryDevice(config.local_ddr5())))
+
+    def force_time_ns(self, batch_bytes: int) -> float:
+        """A plain store suffices."""
+        return self.path.write_time(batch_bytes)
+
+
+@dataclass
+class CommitRecord:
+    """One appended (not yet durable) log record."""
+
+    arrival_ns: float
+    size_bytes: int
+
+
+class WriteAheadLog:
+    """Group commit over a pluggable durability backend.
+
+    Records join the open batch; the batch forces when it reaches
+    ``group_size`` records (or on an explicit :meth:`flush`). Every
+    record in a batch commits when the force completes; per-record
+    commit latency is accumulated in :attr:`commit_latency`.
+    """
+
+    def __init__(self, backend: LogBackend, group_size: int = 8) -> None:
+        if group_size <= 0:
+            raise ConfigError("group_size must be positive")
+        self.backend = backend
+        self.group_size = group_size
+        self.commit_latency = StreamingStats()
+        self.forces = 0
+        self.records = 0
+        self.bytes_forced = 0
+        self._batch: list[CommitRecord] = []
+        self._device_free_ns = 0.0
+
+    def append(self, record_bytes: int, now_ns: float) -> float | None:
+        """Append a record at *now_ns*.
+
+        Returns the commit (durable) time if this append filled the
+        batch and triggered a force, else None (the record commits
+        with a later force).
+        """
+        if record_bytes <= 0:
+            raise ConfigError("record size must be positive")
+        self.records += 1
+        self._batch.append(CommitRecord(now_ns, record_bytes))
+        if len(self._batch) >= self.group_size:
+            return self.flush(now_ns)
+        return None
+
+    def flush(self, now_ns: float) -> float | None:
+        """Force the open batch; returns its completion time."""
+        if not self._batch:
+            return None
+        batch_bytes = sum(r.size_bytes for r in self._batch)
+        start = max(now_ns, self._device_free_ns)
+        done = start + self.backend.force_time_ns(batch_bytes)
+        self._device_free_ns = done
+        self.forces += 1
+        self.bytes_forced += batch_bytes
+        for record in self._batch:
+            self.commit_latency.add(done - record.arrival_ns)
+        self._batch.clear()
+        return done
+
+    @property
+    def pending(self) -> int:
+        """Records appended but not yet durable."""
+        return len(self._batch)
+
+    def throughput_bound_tps(self, record_bytes: int) -> float:
+        """Upper bound on committed records/s at full batches."""
+        force = self.backend.force_time_ns(
+            record_bytes * self.group_size
+        )
+        return self.group_size / force * 1e9
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.backend.name},"
+            f" group={self.group_size}, forces={self.forces})"
+        )

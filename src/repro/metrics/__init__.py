@@ -1,0 +1,14 @@
+"""Measurement utilities: streaming statistics, histograms, reports."""
+
+from .counters import CounterRegistry
+from .report import Table, fmt_ratio
+from .stats import Histogram, StreamingStats, percentile
+
+__all__ = [
+    "CounterRegistry",
+    "Histogram",
+    "StreamingStats",
+    "Table",
+    "fmt_ratio",
+    "percentile",
+]

@@ -1,0 +1,41 @@
+"""Named counter registry shared by engine components."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class CounterRegistry:
+    """A flat namespace of integer counters."""
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, by: int = 1) -> int:
+        """Increment a counter; returns the new value."""
+        self._counters[name] += by
+        return self._counters[name]
+
+    def get(self, name: str) -> int:
+        """Current value of a counter (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def reset(self, name: str | None = None) -> None:
+        """Zero one counter, or all of them."""
+        if name is None:
+            self._counters.clear()
+        else:
+            self._counters.pop(name, None)
+
+    def snapshot(self) -> dict[str, int]:
+        """A copy of every counter."""
+        return dict(self._counters)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __repr__(self) -> str:
+        return f"CounterRegistry({dict(self._counters)!r})"

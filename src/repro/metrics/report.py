@@ -1,0 +1,72 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every benchmark prints the rows the paper reports through a
+:class:`Table`, so `pytest benchmarks/ --benchmark-only` output can be
+compared to the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def fmt_ratio(value: float) -> str:
+    """Format a ratio as e.g. '1.35x'."""
+    return f"{value:.2f}x"
+
+
+class Table:
+    """A fixed-column text table with aligned output."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; values are str()-formatted."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self._rows.append([_fmt(v) for v in values])
+
+    @property
+    def rows(self) -> list[list[str]]:
+        """Formatted rows appended so far."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """The table as an aligned multi-line string."""
+        widths = [len(col) for col in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        header = "  ".join(
+            col.ljust(widths[i]) for i, col in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table (used by benches)."""
+        print()
+        print(self.render())
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,133 @@
+"""Streaming statistics and histograms.
+
+Simulations produce millions of latency samples; these helpers keep
+constant-memory summaries (Welford mean/variance, log-bucketed
+histograms with percentile queries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The *q*-quantile (0..1) of a sample list, linear interpolation."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    # a + f*(b-a) is exact when a == b (unlike a*(1-f) + b*f).
+    return ordered[lo] + frac * (ordered[hi] - ordered[lo])
+
+
+@dataclass
+class StreamingStats:
+    """Constant-memory count/mean/variance/min/max (Welford)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    total: float = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one sample in."""
+        self.count += 1
+        self.total += x
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StreamingStats") -> None:
+        """Fold another summary in (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other.mean - self.mean
+        total_n = n1 + n2
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total_n
+        self.mean += delta * n2 / total_n
+        self.count = total_n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+@dataclass
+class Histogram:
+    """Log-bucketed histogram over positive values with percentiles.
+
+    Buckets grow geometrically from ``base`` by ``growth`` per bucket,
+    which keeps relative error bounded (~ ``growth - 1``) across many
+    orders of magnitude — appropriate for latencies spanning 80 ns DRAM
+    hits to multi-ms disk faults.
+    """
+
+    base: float = 1.0
+    growth: float = 1.25
+    _buckets: dict[int, int] = field(default_factory=dict)
+    stats: StreamingStats = field(default_factory=StreamingStats)
+
+    def add(self, x: float) -> None:
+        """Record one positive sample."""
+        if x <= 0:
+            raise ValueError(f"histogram samples must be positive, got {x}")
+        self.stats.add(x)
+        idx = int(math.floor(math.log(x / self.base, self.growth))) \
+            if x >= self.base else -1
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return self.stats.count
+
+    def quantile(self, q: float) -> float:
+        """Approximate *q*-quantile (bucket upper-bound estimate)."""
+        if self.count == 0:
+            raise ValueError("quantile of empty histogram")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        target = q * self.count
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= target:
+                return self.base * self.growth ** (idx + 1)
+        return self.stats.max
+
+    def __len__(self) -> int:
+        return self.count

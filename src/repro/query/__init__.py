@@ -1,0 +1,35 @@
+"""A miniature relational query layer over the tiered buffer pool.
+
+Enough machinery to reproduce the paper's analytical claims: scans,
+filters, projections, aggregation, partitioned hash join, external
+sort / sort-merge join, a small cost-based planner (hash-vs-sort and
+NDP offload decisions), and TPC-H-shaped queries for experiment E3.
+"""
+
+from .columnar import ColumnScan, ColumnTable
+from .indexjoin import IndexNestedLoopJoin
+from .operators import Filter, HashAggregate, Project, TableScan
+from .hashjoin import HashJoin
+from .planner import JoinPlanner
+from .schema import Column, Schema
+from .sort import ExternalSort, SortMergeJoin
+from .table import Table
+from .topk import TopK
+
+__all__ = [
+    "Column",
+    "ColumnScan",
+    "ColumnTable",
+    "ExternalSort",
+    "Filter",
+    "HashAggregate",
+    "HashJoin",
+    "IndexNestedLoopJoin",
+    "JoinPlanner",
+    "Project",
+    "Schema",
+    "SortMergeJoin",
+    "Table",
+    "TableScan",
+    "TopK",
+]

@@ -1,0 +1,141 @@
+"""Partitioned (Grace-style) hash join.
+
+Build the smaller input into a hash table in work memory; when the
+build side exceeds the work-memory budget, both inputs are partitioned
+to the spill tier first. Work-memory probes and spill traffic are
+charged against access paths, so where the hash table lives —
+local DRAM, CXL expander, GFAM — shifts the cost, exactly the
+"hashing at rack scale" question of Sec 3.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..core.engine import ScaleUpEngine
+from ..errors import QueryError
+from ..sim.interconnect import AccessPath
+from .operators import (
+    CPU_EMIT_NS,
+    LLC_RESIDENT_GROUPS,
+    MEMORY_LEVEL_PARALLELISM,
+    Operator,
+)
+from .schema import Schema
+
+#: CPU per build row (hash + insert) and per probe row.
+CPU_BUILD_NS = 6.0
+CPU_PROBE_NS = 5.0
+
+
+class HashJoin:
+    """Equi-join: ``left.left_key == right.right_key``.
+
+    The left input is the build side. ``work_path`` locates work
+    memory (hash table and partitions); ``work_mem_rows`` is the
+    build-side capacity before partitioning kicks in.
+    """
+
+    def __init__(self, left: Operator, right: Operator,
+                 left_key: str, right_key: str,
+                 work_path: AccessPath | None = None,
+                 work_mem_rows: int = 1_000_000) -> None:
+        if work_mem_rows <= 0:
+            raise QueryError("work_mem_rows must be positive")
+        self.left = left
+        self.right = right
+        self._left_idx = left.schema.index_of(left_key)
+        self._right_idx = right.schema.index_of(right_key)
+        self.work_path = work_path
+        self.work_mem_rows = work_mem_rows
+        self._schema = Schema(left.schema.columns + [
+            col for col in right.schema.columns
+            if not left.schema.has(col.name)
+        ])
+        self._right_keep = [
+            i for i, col in enumerate(right.schema.columns)
+            if not left.schema.has(col.name)
+        ]
+
+    @property
+    def schema(self) -> Schema:
+        """Left columns then non-duplicate right columns."""
+        return self._schema
+
+    def rows(self, engine: ScaleUpEngine) -> Iterator[tuple]:
+        """Execute the join against an engine."""
+        clock = engine.pool.clock
+        build = list(self.left.rows(engine))
+        num_partitions = max(
+            1, math.ceil(len(build) / self.work_mem_rows)
+        )
+        if num_partitions == 1:
+            yield from self._join_partition(
+                engine, build, self.right.rows(engine)
+            )
+            return
+        # Grace: partition both sides through work memory, then join
+        # partition pairs. Spill traffic charged at work-path bandwidth.
+        probe = list(self.right.rows(engine))
+        if self.work_path is not None:
+            spill_bytes = (
+                (len(build) * self.left.schema.record_width_bytes
+                 + len(probe) * self.right.schema.record_width_bytes)
+            )
+            # Written once and read once.
+            clock.advance(self.work_path.write_time(spill_bytes))
+            clock.advance(self.work_path.read_time(spill_bytes))
+        build_parts: list[list[tuple]] = [[] for _ in range(num_partitions)]
+        probe_parts: list[list[tuple]] = [[] for _ in range(num_partitions)]
+        for row in build:
+            build_parts[hash(row[self._left_idx]) % num_partitions].append(row)
+        for row in probe:
+            probe_parts[hash(row[self._right_idx]) % num_partitions].append(row)
+        for b_part, p_part in zip(build_parts, probe_parts):
+            yield from self._join_partition(engine, b_part, iter(p_part))
+
+    def _join_partition(self, engine: ScaleUpEngine, build: list[tuple],
+                        probe: Iterator[tuple]) -> Iterator[tuple]:
+        clock = engine.pool.clock
+        table: dict[object, list[tuple]] = {}
+        for row in build:
+            table.setdefault(row[self._left_idx], []).append(row)
+        build_cpu = len(build) * CPU_BUILD_NS
+        probe_latency = 0.0
+        if self.work_path is not None and len(table) > LLC_RESIDENT_GROUPS:
+            probe_latency = (self.work_path.read_latency_ns()
+                             / MEMORY_LEVEL_PARALLELISM)
+            build_cpu += len(build) * (self.work_path.write_latency_ns()
+                                       / MEMORY_LEVEL_PARALLELISM)
+        clock.advance(build_cpu)
+        probed = 0
+        emitted = 0
+        for row in probe:
+            probed += 1
+            matches = table.get(row[self._right_idx])
+            if not matches:
+                continue
+            right_part = tuple(row[i] for i in self._right_keep)
+            for match in matches:
+                emitted += 1
+                yield match + right_part
+        clock.advance(
+            probed * (CPU_PROBE_NS + probe_latency)
+            + emitted * CPU_EMIT_NS
+        )
+
+    def estimated_cost_ns(self, build_rows: int, probe_rows: int) -> float:
+        """Planner-facing cost estimate (no execution)."""
+        latency = 0.0
+        if self.work_path is not None and build_rows > LLC_RESIDENT_GROUPS:
+            latency = (self.work_path.read_latency_ns()
+                       / MEMORY_LEVEL_PARALLELISM)
+        passes = max(1, math.ceil(build_rows / self.work_mem_rows))
+        spill = 0.0
+        if passes > 1 and self.work_path is not None:
+            bytes_ = (build_rows * self.left.schema.record_width_bytes
+                      + probe_rows * self.right.schema.record_width_bytes)
+            spill = 2 * bytes_ / self.work_path.read_bandwidth
+        return (build_rows * (CPU_BUILD_NS + latency)
+                + probe_rows * (CPU_PROBE_NS + latency) + spill)

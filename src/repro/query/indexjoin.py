@@ -1,0 +1,82 @@
+"""Index-nested-loop join over the tier-spanning B+tree.
+
+The OLTP-flavoured join: for each outer row, probe a
+:class:`~repro.core.btree.TieredBTree` index on the inner table.
+Each probe pays one buffer-pool access per tree level, so the
+*index's placement* (all-DRAM, hybrid, all-CXL — Sec 3.1) directly
+sets the join's cost, and the planner can trade it off against a
+hash join's build cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.btree import TieredBTree
+from ..core.engine import ScaleUpEngine
+from ..errors import QueryError
+from .operators import CPU_EMIT_NS, Operator
+from .schema import Schema
+
+#: CPU per probe (hash of key + result splice).
+CPU_PROBE_NS = 4.0
+
+
+class IndexNestedLoopJoin:
+    """``outer JOIN inner ON outer.key == index(key)``.
+
+    The index maps join keys to inner-row tuples whose shape is
+    described by ``inner_schema``. Missing keys drop the outer row
+    (inner join).
+    """
+
+    def __init__(self, outer: Operator, index: TieredBTree,
+                 outer_key: str, inner_schema: Schema) -> None:
+        self.outer = outer
+        self.index = index
+        self._outer_idx = outer.schema.index_of(outer_key)
+        self.inner_schema = inner_schema
+        self._inner_keep = [
+            i for i, col in enumerate(inner_schema.columns)
+            if not outer.schema.has(col.name)
+        ]
+        self._schema = Schema(outer.schema.columns + [
+            col for col in inner_schema.columns
+            if not outer.schema.has(col.name)
+        ])
+
+    @property
+    def schema(self) -> Schema:
+        """Outer columns then non-duplicate inner columns."""
+        return self._schema
+
+    def rows(self, engine: ScaleUpEngine) -> Iterator[tuple]:
+        """Probe the index once per outer row."""
+        if self.index.pool is not engine.pool:
+            raise QueryError(
+                "index must live in the engine's buffer pool"
+            )
+        clock = engine.pool.clock
+        probed = 0
+        emitted = 0
+        for row in self.outer.rows(engine):
+            probed += 1
+            inner = self.index.lookup(row[self._outer_idx])
+            if inner is None:
+                continue
+            if not isinstance(inner, tuple):
+                raise QueryError(
+                    "index payloads must be inner-row tuples"
+                )
+            emitted += 1
+            yield row + tuple(inner[i] for i in self._inner_keep)
+        clock.advance(probed * CPU_PROBE_NS + emitted * CPU_EMIT_NS)
+
+    def estimated_cost_ns(self, outer_rows: int) -> float:
+        """Planner estimate: probes x (tree height x level latency)."""
+        # Approximate a probe by the pool's fastest-tier latency per
+        # level; the executed cost reflects true placement.
+        level_ns = self.index.pool.tiers[0].path.read_latency_ns()
+        return outer_rows * (
+            CPU_PROBE_NS + self.index.height * level_ns
+        )

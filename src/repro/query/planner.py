@@ -1,0 +1,100 @@
+"""A small cost-based planner for the decisions the paper raises.
+
+Two choices are modelled:
+
+* **hash vs sort** for a join given input cardinalities and the
+  location of work memory (Sec 3.3: "accepted wisdom regarding when
+  to use each one may change" at rack scale);
+* **NDP offload** for a selective scan (Sec 4: which portions of
+  query processing should run near the data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ndp import NDPController
+from ..errors import QueryError
+from ..sim.interconnect import AccessPath
+from .hashjoin import HashJoin
+from .operators import Operator
+from .sort import SortMergeJoin
+
+
+@dataclass(frozen=True)
+class JoinChoice:
+    """The planner's decision and its cost estimates."""
+
+    algorithm: str            # 'hash' or 'sort-merge'
+    hash_cost_ns: float
+    sort_cost_ns: float
+
+    @property
+    def advantage(self) -> float:
+        """Cost ratio of the rejected plan over the chosen one."""
+        best = min(self.hash_cost_ns, self.sort_cost_ns)
+        worst = max(self.hash_cost_ns, self.sort_cost_ns)
+        if best <= 0:
+            return 1.0
+        return worst / best
+
+
+class JoinPlanner:
+    """Chooses join algorithms from cost estimates."""
+
+    def __init__(self, work_path: AccessPath | None = None,
+                 work_mem_rows: int = 1_000_000) -> None:
+        self.work_path = work_path
+        self.work_mem_rows = work_mem_rows
+
+    def choose_join(self, left: Operator, right: Operator,
+                    left_key: str, right_key: str,
+                    left_rows: int, right_rows: int
+                    ) -> tuple[Operator, JoinChoice]:
+        """Return (operator, decision) for the cheaper join algorithm."""
+        if left_rows < 0 or right_rows < 0:
+            raise QueryError("cardinalities must be non-negative")
+        hash_join = HashJoin(left, right, left_key, right_key,
+                             work_path=self.work_path,
+                             work_mem_rows=self.work_mem_rows)
+        sort_join = SortMergeJoin(left, right, left_key, right_key,
+                                  work_path=self.work_path,
+                                  work_mem_rows=self.work_mem_rows)
+        hash_cost = hash_join.estimated_cost_ns(left_rows, right_rows)
+        sort_cost = sort_join.estimated_cost_ns(left_rows, right_rows)
+        choice = JoinChoice(
+            algorithm="hash" if hash_cost <= sort_cost else "sort-merge",
+            hash_cost_ns=hash_cost,
+            sort_cost_ns=sort_cost,
+        )
+        op = hash_join if choice.algorithm == "hash" else sort_join
+        return op, choice
+
+
+@dataclass(frozen=True)
+class OffloadChoice:
+    """NDP offload decision for a selective scan."""
+
+    offload: bool
+    host_cost_ns: float
+    ndp_cost_ns: float
+
+    @property
+    def speedup(self) -> float:
+        """Host cost over the chosen plan's cost."""
+        chosen = self.ndp_cost_ns if self.offload else self.host_cost_ns
+        if chosen <= 0:
+            return 1.0
+        return self.host_cost_ns / chosen
+
+
+def choose_scan_site(controller: NDPController, num_pages: int,
+                     selectivity: float) -> OffloadChoice:
+    """Should a selective scan run on the host or on the controller?"""
+    host = controller.host_filter_time(num_pages, selectivity)
+    ndp = controller.offload_filter_time(num_pages, selectivity)
+    return OffloadChoice(
+        offload=ndp.time_ns < host.time_ns,
+        host_cost_ns=host.time_ns,
+        ndp_cost_ns=ndp.time_ns,
+    )

@@ -1,0 +1,90 @@
+"""Relational schemas.
+
+Records are plain tuples; a :class:`Schema` names and types their
+fields and resolves column references for operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import QueryError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types (sizes drive page-fill estimates)."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"  # stored as int days
+
+
+#: Approximate stored width per type, in bytes.
+COLUMN_WIDTH = {
+    ColumnType.INT: 8,
+    ColumnType.FLOAT: 8,
+    ColumnType.DATE: 4,
+    ColumnType.STR: 24,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    kind: ColumnType = ColumnType.INT
+
+    @property
+    def width_bytes(self) -> int:
+        """Approximate stored width."""
+        return COLUMN_WIDTH[self.kind]
+
+
+class Schema:
+    """An ordered set of columns."""
+
+    def __init__(self, columns: list[Column]) -> None:
+        if not columns:
+            raise QueryError("a schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate column names in {names}")
+        self.columns = list(columns)
+        self._index = {c.name: i for i, c in enumerate(columns)}
+
+    def index_of(self, name: str) -> int:
+        """Position of a column in each record tuple."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise QueryError(
+                f"no column {name!r}; have {list(self._index)}"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        """Whether a column exists."""
+        return name in self._index
+
+    @property
+    def names(self) -> list[str]:
+        """Column names, in order."""
+        return [c.name for c in self.columns]
+
+    @property
+    def record_width_bytes(self) -> int:
+        """Approximate bytes per record."""
+        return sum(c.width_bytes for c in self.columns)
+
+    def project(self, names: list[str]) -> "Schema":
+        """A new schema keeping only *names*, in the given order."""
+        return Schema([self.columns[self.index_of(n)] for n in names])
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.kind.value}" for c in self.columns)
+        return f"Schema({cols})"

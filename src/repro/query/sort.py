@@ -1,0 +1,162 @@
+"""External merge sort and sort-merge join.
+
+The counterpart of :mod:`repro.query.hashjoin` in the paper's Sec 3.3
+question — "hashing and sorting are at the core of most relational
+data processing, but it is not obvious how they would work at
+rack-level scale". Sorting streams sequentially (bandwidth-bound,
+latency-tolerant) while hashing probes randomly (latency-bound), so
+their crossover moves when work memory gets CXL latency but keeps
+high bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from ..core.engine import ScaleUpEngine
+from ..errors import QueryError
+from ..sim.interconnect import AccessPath
+from .operators import CPU_EMIT_NS, Operator
+from .schema import Schema
+
+#: CPU per comparison during sorting / merging.
+CPU_COMPARE_NS = 2.0
+#: Merge fan-in of one external pass.
+MERGE_FANIN = 64
+
+
+class ExternalSort:
+    """Sort by one column, spilling runs to work memory when needed."""
+
+    def __init__(self, child: Operator, key: str,
+                 work_path: AccessPath | None = None,
+                 work_mem_rows: int = 1_000_000,
+                 descending: bool = False) -> None:
+        if work_mem_rows <= 1:
+            raise QueryError("work_mem_rows must exceed one row")
+        self.child = child
+        self._key_idx = child.schema.index_of(key)
+        self.work_path = work_path
+        self.work_mem_rows = work_mem_rows
+        self.descending = descending
+
+    @property
+    def schema(self) -> Schema:
+        """Same schema as the child."""
+        return self.child.schema
+
+    def merge_passes(self, num_rows: int) -> int:
+        """External merge passes needed for *num_rows*."""
+        runs = math.ceil(max(1, num_rows) / self.work_mem_rows)
+        if runs <= 1:
+            return 0
+        return math.ceil(math.log(runs, MERGE_FANIN))
+
+    def rows(self, engine: ScaleUpEngine) -> Iterator[tuple]:
+        """Sort the child's output, charging CPU and spill traffic."""
+        clock = engine.pool.clock
+        data = list(self.child.rows(engine))
+        n = len(data)
+        if n == 0:
+            return
+        # In-memory sort CPU: n log2(run_length) comparisons per run
+        # plus merge comparisons per pass.
+        run_len = min(n, self.work_mem_rows)
+        cpu = n * math.log2(max(run_len, 2)) * CPU_COMPARE_NS
+        passes = self.merge_passes(n)
+        cpu += passes * n * math.log2(MERGE_FANIN) * CPU_COMPARE_NS
+        clock.advance(cpu)
+        if passes and self.work_path is not None:
+            bytes_ = n * self.schema.record_width_bytes
+            for _ in range(passes):
+                clock.advance(self.work_path.write_time(bytes_))
+                clock.advance(self.work_path.read_time(bytes_))
+        data.sort(key=lambda row: row[self._key_idx],
+                  reverse=self.descending)
+        clock.advance(n * CPU_EMIT_NS)
+        yield from data
+
+    def estimated_cost_ns(self, num_rows: int) -> float:
+        """Planner-facing cost estimate (no execution)."""
+        if num_rows <= 0:
+            return 0.0
+        run_len = min(num_rows, self.work_mem_rows)
+        cpu = num_rows * math.log2(max(run_len, 2)) * CPU_COMPARE_NS
+        passes = self.merge_passes(num_rows)
+        cpu += passes * num_rows * math.log2(MERGE_FANIN) * CPU_COMPARE_NS
+        spill = 0.0
+        if passes and self.work_path is not None:
+            bytes_ = num_rows * self.schema.record_width_bytes
+            spill = passes * 2 * bytes_ / self.work_path.read_bandwidth
+        return cpu + spill + num_rows * CPU_EMIT_NS
+
+
+class SortMergeJoin:
+    """Equi-join by sorting both inputs and merging."""
+
+    def __init__(self, left: Operator, right: Operator,
+                 left_key: str, right_key: str,
+                 work_path: AccessPath | None = None,
+                 work_mem_rows: int = 1_000_000) -> None:
+        self.left_sort = ExternalSort(left, left_key, work_path,
+                                      work_mem_rows)
+        self.right_sort = ExternalSort(right, right_key, work_path,
+                                       work_mem_rows)
+        self._left_idx = left.schema.index_of(left_key)
+        self._right_idx = right.schema.index_of(right_key)
+        self.work_path = work_path
+        self._schema = Schema(left.schema.columns + [
+            col for col in right.schema.columns
+            if not left.schema.has(col.name)
+        ])
+        self._right_keep = [
+            i for i, col in enumerate(right.schema.columns)
+            if not left.schema.has(col.name)
+        ]
+
+    @property
+    def schema(self) -> Schema:
+        """Left columns then non-duplicate right columns."""
+        return self._schema
+
+    def rows(self, engine: ScaleUpEngine) -> Iterator[tuple]:
+        """Sort both sides, then merge."""
+        clock = engine.pool.clock
+        left = list(self.left_sort.rows(engine))
+        right = list(self.right_sort.rows(engine))
+        clock.advance((len(left) + len(right)) * CPU_COMPARE_NS)
+        i = j = 0
+        emitted = 0
+        while i < len(left) and j < len(right):
+            lk = left[i][self._left_idx]
+            rk = right[j][self._right_idx]
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                # Emit the cross product of the equal-key groups.
+                j_end = j
+                while j_end < len(right) and \
+                        right[j_end][self._right_idx] == lk:
+                    j_end += 1
+                i_end = i
+                while i_end < len(left) and \
+                        left[i_end][self._left_idx] == lk:
+                    i_end += 1
+                for a in range(i, i_end):
+                    left_row = left[a]
+                    for b in range(j, j_end):
+                        emitted += 1
+                        yield left_row + tuple(
+                            right[b][k] for k in self._right_keep
+                        )
+                i, j = i_end, j_end
+        clock.advance(emitted * CPU_EMIT_NS)
+
+    def estimated_cost_ns(self, left_rows: int, right_rows: int) -> float:
+        """Planner-facing cost estimate (no execution)."""
+        return (self.left_sort.estimated_cost_ns(left_rows)
+                + self.right_sort.estimated_cost_ns(right_rows)
+                + (left_rows + right_rows) * CPU_COMPARE_NS)

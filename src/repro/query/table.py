@@ -1,0 +1,92 @@
+"""Tables: schemas bound to page ranges in a page file.
+
+Rows live as tuples on :class:`~repro.storage.page.Page` payloads; a
+table allocates its pages from a shared :class:`~repro.storage.file.PageFile`
+so multiple tables coexist in one tablespace and the buffer pool
+faults their pages like any disk-based engine would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import QueryError
+from ..storage.file import PageFile
+from ..storage.page import PageId
+from ..units import PAGE_SIZE
+from .schema import Schema
+
+
+class Table:
+    """A row-store table over a contiguous page range."""
+
+    def __init__(self, name: str, schema: Schema, pagefile: PageFile,
+                 fill_factor: float = 0.9) -> None:
+        if not 0.0 < fill_factor <= 1.0:
+            raise QueryError(f"fill factor must be in (0,1]: {fill_factor}")
+        self.name = name
+        self.schema = schema
+        self.pagefile = pagefile
+        usable = int(PAGE_SIZE * fill_factor)
+        self.records_per_page = max(
+            1, usable // schema.record_width_bytes
+        )
+        self._page_ids: list[PageId] = []
+        self._row_count = 0
+
+    # -- loading -----------------------------------------------------------
+
+    def bulk_load(self, rows: Iterable[tuple]) -> int:
+        """Append rows, packing pages to the fill factor. Returns the
+        number of rows loaded."""
+        loaded = 0
+        current = None
+        for row in rows:
+            if len(row) != len(self.schema):
+                raise QueryError(
+                    f"{self.name}: row arity {len(row)} !="
+                    f" schema arity {len(self.schema)}"
+                )
+            if current is None or \
+                    len(current.records) >= self.records_per_page:
+                current = self.pagefile.allocate_page()
+                self._page_ids.append(current.page_id)
+            current.records.append(row)
+            loaded += 1
+        self._row_count += loaded
+        return loaded
+
+    # -- shape --------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Rows loaded so far."""
+        return self._row_count
+
+    @property
+    def page_count(self) -> int:
+        """Pages the table occupies."""
+        return len(self._page_ids)
+
+    @property
+    def page_ids(self) -> list[PageId]:
+        """The table's page ids, in order."""
+        return list(self._page_ids)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint."""
+        return self.page_count * PAGE_SIZE
+
+    # -- raw iteration (untimed; operators add timing) -------------------------
+
+    def pages(self) -> Iterator[tuple[PageId, list[tuple]]]:
+        """Iterate (page_id, records) pairs without timing."""
+        for page_id in self._page_ids:
+            yield page_id, self.pagefile.peek(page_id).records
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self._row_count:,},"
+            f" pages={self.page_count:,})"
+        )

@@ -1,0 +1,70 @@
+"""Top-K: ORDER BY ... LIMIT k without a full sort.
+
+TPC-H's Q3/Q10/Q18 all end in a LIMIT; a bounded heap does the job in
+one pass with O(n log k) comparisons — no work-memory spill, no
+sensitivity to where work memory lives. (That insensitivity is itself
+a Sec 3.3 data point: operators with O(k) state are free to run
+anywhere in the rack.)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+from ..core.engine import ScaleUpEngine
+from ..errors import QueryError
+from .operators import CPU_EMIT_NS, Operator
+from .schema import Schema
+from .sort import CPU_COMPARE_NS
+
+
+class TopK:
+    """The *k* rows with the largest (default) or smallest key."""
+
+    def __init__(self, child: Operator, key: str, k: int,
+                 descending: bool = True) -> None:
+        if k <= 0:
+            raise QueryError(f"k must be positive: {k}")
+        self.child = child
+        self.k = k
+        self.descending = descending
+        self._key_idx = child.schema.index_of(key)
+
+    @property
+    def schema(self) -> Schema:
+        """Same schema as the child."""
+        return self.child.schema
+
+    def rows(self, engine: ScaleUpEngine) -> Iterator[tuple]:
+        """One pass with a bounded heap; emits rows in key order."""
+        clock = engine.pool.clock
+        # Tie-break by a sequence number so rows never compare.
+        counter = itertools.count()
+        heap: list[tuple] = []
+        seen = 0
+        sign = 1.0 if self.descending else -1.0
+        for row in self.child.rows(engine):
+            seen += 1
+            entry = (sign * self._rank(row), next(counter), row)
+            if len(heap) < self.k:
+                heapq.heappush(heap, entry)
+            elif entry[0] > heap[0][0]:
+                heapq.heapreplace(heap, entry)
+        import math
+        cpu = seen * CPU_COMPARE_NS * max(
+            1.0, math.log2(max(self.k, 2))
+        )
+        clock.advance(cpu + len(heap) * CPU_EMIT_NS)
+        ordered = sorted(heap, key=lambda e: (-e[0], e[1]))
+        for _rank, _seq, row in ordered:
+            yield row
+
+    def _rank(self, row: tuple) -> float:
+        value = row[self._key_idx]
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise QueryError(
+            f"TopK key must be numeric, got {type(value).__name__}"
+        )

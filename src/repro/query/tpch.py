@@ -1,0 +1,270 @@
+"""TPC-H-shaped dataset and queries.
+
+Microsoft's Pond reported that TPC-H under CXL latency shows
+"highly query-dependent" overheads, "mostly below 20%" (Sec 2.4).
+This module provides a synthetic dataset and nine query shapes
+spanning the spectrum Pond saw: selective scans (Q6), heavy scans
+with wide aggregation (Q1), join-dominated plans (Q3/Q5/Q10/Q12/Q14),
+a semi-join (Q4), and a big group-by with HAVING + LIMIT (Q18).
+Cardinality ratios follow TPC-H (orders = lineitem/4,
+customer = orders/10).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.engine import ScaleUpEngine
+from ..storage.file import PageFile
+from .hashjoin import HashJoin
+from .operators import Filter, HashAggregate, TableScan, collect
+from .schema import Column, ColumnType, Schema
+from .table import Table
+from .topk import TopK
+
+LINEITEM_SCHEMA = Schema([
+    Column("orderkey"), Column("partkey"),
+    Column("quantity", ColumnType.FLOAT),
+    Column("extendedprice", ColumnType.FLOAT),
+    Column("discount", ColumnType.FLOAT),
+    Column("returnflag", ColumnType.STR),
+    Column("linestatus", ColumnType.STR),
+    Column("shipdate", ColumnType.DATE),
+    Column("shipmode", ColumnType.STR),
+])
+
+ORDERS_SCHEMA = Schema([
+    Column("orderkey"), Column("custkey"),
+    Column("orderdate", ColumnType.DATE),
+    Column("totalprice", ColumnType.FLOAT),
+    Column("orderpriority", ColumnType.STR),
+])
+
+CUSTOMER_SCHEMA = Schema([
+    Column("custkey"), Column("nationkey"),
+    Column("mktsegment", ColumnType.STR),
+])
+
+PART_SCHEMA = Schema([
+    Column("partkey"), Column("ptype", ColumnType.STR),
+])
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+SHIPMODES = ["AIR", "MAIL", "RAIL", "SHIP", "TRUCK"]
+PTYPES = ["PROMO BRUSHED", "PROMO PLATED", "STANDARD BRUSHED",
+          "ECONOMY PLATED", "MEDIUM BURNISHED"]
+
+
+@dataclass
+class TPCHDataset:
+    """The four tables plus convenience cardinalities."""
+
+    lineitem: Table
+    orders: Table
+    customer: Table
+    part: Table
+
+    @property
+    def total_pages(self) -> int:
+        """Pages across all tables."""
+        return (self.lineitem.page_count + self.orders.page_count
+                + self.customer.page_count + self.part.page_count)
+
+
+def generate(pagefile: PageFile, lineitem_rows: int = 30_000,
+             seed: int = 19) -> TPCHDataset:
+    """Build a dataset with TPC-H cardinality ratios."""
+    rng = random.Random(seed)
+    num_orders = max(1, lineitem_rows // 4)
+    num_customers = max(1, num_orders // 10)
+    num_parts = max(1, lineitem_rows // 15)
+
+    customer = Table("customer", CUSTOMER_SCHEMA, pagefile)
+    customer.bulk_load(
+        (k, rng.randrange(25), rng.choice(SEGMENTS))
+        for k in range(num_customers)
+    )
+    orders = Table("orders", ORDERS_SCHEMA, pagefile)
+    orders.bulk_load(
+        (k, rng.randrange(num_customers), rng.randrange(2_400),
+         rng.uniform(1_000.0, 300_000.0),
+         rng.choice(["1-URGENT", "2-HIGH", "3-MEDIUM"]))
+        for k in range(num_orders)
+    )
+    part = Table("part", PART_SCHEMA, pagefile)
+    part.bulk_load(
+        (k, rng.choice(PTYPES)) for k in range(num_parts)
+    )
+    lineitem = Table("lineitem", LINEITEM_SCHEMA, pagefile)
+    lineitem.bulk_load(
+        (rng.randrange(num_orders), rng.randrange(num_parts),
+         float(rng.randint(1, 50)),
+         rng.uniform(100.0, 10_000.0),
+         rng.uniform(0.0, 0.1),
+         rng.choice("ANR"), rng.choice("OF"),
+         rng.randrange(2_400), rng.choice(SHIPMODES))
+        for _ in range(lineitem_rows)
+    )
+    return TPCHDataset(lineitem=lineitem, orders=orders,
+                       customer=customer, part=part)
+
+
+#: A query takes (engine, dataset) and returns its result rows.
+Query = Callable[[ScaleUpEngine, TPCHDataset], list[tuple]]
+
+
+def q1(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Pricing summary: heavy scan + wide aggregation."""
+    shipdate_idx = LINEITEM_SCHEMA.index_of("shipdate")
+    scan = TableScan(data.lineitem,
+                     predicate=lambda r: r[shipdate_idx] <= 2_200)
+    agg = HashAggregate(
+        scan, group_by=["returnflag", "linestatus"],
+        aggs=[("sum_qty", "sum", "quantity"),
+              ("sum_price", "sum", "extendedprice"),
+              ("avg_disc", "avg", "discount"),
+              ("count_order", "count", None)],
+    )
+    return collect(agg, engine)[0]
+
+
+def q3(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Shipping priority: 3-way join + aggregation."""
+    seg_idx = CUSTOMER_SCHEMA.index_of("mktsegment")
+    cust = TableScan(data.customer,
+                     predicate=lambda r: r[seg_idx] == "BUILDING")
+    orderdate_idx = ORDERS_SCHEMA.index_of("orderdate")
+    orders = TableScan(data.orders,
+                       predicate=lambda r: r[orderdate_idx] < 1_200)
+    join1 = HashJoin(cust, orders, "custkey", "custkey")
+    join2 = HashJoin(join1, TableScan(data.lineitem),
+                     "orderkey", "orderkey")
+    agg = HashAggregate(
+        join2, group_by=["orderkey"],
+        aggs=[("revenue", "sum", "extendedprice")],
+    )
+    top = TopK(agg, "revenue", k=10)
+    return collect(top, engine)[0]
+
+
+def q5(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Local supplier volume: join + nation grouping."""
+    join1 = HashJoin(TableScan(data.customer), TableScan(data.orders),
+                     "custkey", "custkey")
+    join2 = HashJoin(join1, TableScan(data.lineitem),
+                     "orderkey", "orderkey")
+    agg = HashAggregate(
+        join2, group_by=["nationkey"],
+        aggs=[("revenue", "sum", "extendedprice")],
+    )
+    return collect(agg, engine)[0]
+
+
+def q6(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Forecasting revenue change: highly selective scan."""
+    s = LINEITEM_SCHEMA
+    ship, disc, qty = (s.index_of("shipdate"), s.index_of("discount"),
+                       s.index_of("quantity"))
+
+    def predicate(r: tuple) -> bool:
+        return (1_000 <= r[ship] < 1_365 and 0.05 <= r[disc] <= 0.07
+                and r[qty] < 24)
+
+    scan = TableScan(data.lineitem, predicate=predicate)
+    agg = HashAggregate(
+        scan, group_by=["linestatus"],
+        aggs=[("revenue", "sum", "extendedprice")],
+    )
+    return collect(agg, engine)[0]
+
+
+def q12(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Shipping modes: selective join + grouping."""
+    mode_idx = LINEITEM_SCHEMA.index_of("shipmode")
+    line = TableScan(data.lineitem,
+                     predicate=lambda r: r[mode_idx] in ("MAIL", "SHIP"))
+    join = HashJoin(line, TableScan(data.orders), "orderkey", "orderkey")
+    agg = HashAggregate(
+        join, group_by=["shipmode"],
+        aggs=[("order_count", "count", None)],
+    )
+    return collect(agg, engine)[0]
+
+
+def q14(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Promotion effect: join with part + scan aggregation."""
+    ship_idx = LINEITEM_SCHEMA.index_of("shipdate")
+    line = TableScan(data.lineitem,
+                     predicate=lambda r: 1_100 <= r[ship_idx] < 1_130)
+    join = HashJoin(line, TableScan(data.part), "partkey", "partkey")
+    agg = HashAggregate(
+        join, group_by=["ptype"],
+        aggs=[("revenue", "sum", "extendedprice")],
+    )
+    return collect(agg, engine)[0]
+
+
+def q4(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Order priority checking: semi-join shaped (orders having at
+    least one qualifying lineitem), grouped by priority."""
+    date_idx = ORDERS_SCHEMA.index_of("orderdate")
+    orders = TableScan(data.orders,
+                       predicate=lambda r: 800 <= r[date_idx] < 900)
+    # Build the qualifying-order key set from lineitem first.
+    ship_idx = LINEITEM_SCHEMA.index_of("shipdate")
+    line = TableScan(data.lineitem,
+                     predicate=lambda r: r[ship_idx] < 1_200,
+                     projection=["orderkey"])
+    qualifying = {row[0] for row in line.rows(engine)}
+    key_idx = ORDERS_SCHEMA.index_of("orderkey")
+    semi = Filter(orders, lambda r: r[key_idx] in qualifying)
+    agg = HashAggregate(
+        semi, group_by=["orderpriority"],
+        aggs=[("order_count", "count", None)],
+    )
+    return collect(agg, engine)[0]
+
+
+def q10(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Returned-item reporting: customer x orders x lineitem with a
+    returnflag filter, revenue per customer."""
+    flag_idx = LINEITEM_SCHEMA.index_of("returnflag")
+    line = TableScan(data.lineitem,
+                     predicate=lambda r: r[flag_idx] == "R")
+    join1 = HashJoin(TableScan(data.orders), line,
+                     "orderkey", "orderkey")
+    join2 = HashJoin(TableScan(data.customer), join1,
+                     "custkey", "custkey")
+    agg = HashAggregate(
+        join2, group_by=["custkey"],
+        aggs=[("revenue", "sum", "extendedprice")],
+    )
+    return collect(agg, engine)[0]
+
+
+def q18(engine: ScaleUpEngine, data: TPCHDataset) -> list[tuple]:
+    """Large-volume customers: big group-by with a HAVING-style
+    post-filter on total quantity."""
+    per_order = HashAggregate(
+        TableScan(data.lineitem), group_by=["orderkey"],
+        aggs=[("total_qty", "sum", "quantity")],
+    )
+    qty_idx = 1
+    big = Filter(per_order, lambda r: r[qty_idx] > 300)
+    join = HashJoin(big, TableScan(data.orders),
+                    "orderkey", "orderkey")
+    agg = HashAggregate(
+        join, group_by=["custkey"],
+        aggs=[("orders", "count", None),
+              ("qty", "sum", "total_qty")],
+    )
+    top = TopK(agg, "qty", k=100)
+    return collect(top, engine)[0]
+
+
+QUERIES: dict[str, Query] = {
+    "Q1": q1, "Q3": q3, "Q4": q4, "Q5": q5, "Q6": q6,
+    "Q10": q10, "Q12": q12, "Q14": q14, "Q18": q18,
+}

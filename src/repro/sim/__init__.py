@@ -1,0 +1,40 @@
+"""Hardware substrate simulator.
+
+This subpackage models the rack the paper assumes: memory devices
+(:mod:`repro.sim.memory`), links and PCIe/CXL ports
+(:mod:`repro.sim.interconnect`), rack topology with CXL switches
+(:mod:`repro.sim.topology`), directory-based coherence
+(:mod:`repro.sim.coherence`), NUMA systems (:mod:`repro.sim.numa`), the
+RDMA baseline fabric (:mod:`repro.sim.rdma`), failure/RAS behaviour
+(:mod:`repro.sim.ras`), and a discrete-event core
+(:mod:`repro.sim.clock`, :mod:`repro.sim.events`).
+"""
+
+from .address import AddressSpace, Region
+from .bandwidth import SharedChannel
+from .clock import SimClock
+from .events import Event, Simulator
+from .interconnect import AccessPath, Link
+from .interleave import InterleaveSet
+from .memory import MemoryDevice
+from .numa import NUMANode, NUMASystem
+from .topology import CXLSwitch, Host, MemoryPoolDevice, RackTopology
+
+__all__ = [
+    "AccessPath",
+    "AddressSpace",
+    "CXLSwitch",
+    "Event",
+    "Host",
+    "InterleaveSet",
+    "Link",
+    "MemoryDevice",
+    "MemoryPoolDevice",
+    "NUMANode",
+    "NUMASystem",
+    "RackTopology",
+    "Region",
+    "SharedChannel",
+    "SimClock",
+    "Simulator",
+]

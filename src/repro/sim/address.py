@@ -1,0 +1,123 @@
+"""Physical address space and region carving.
+
+CXL memory pooling (Sec 3.2) works by *carving* a large pool into
+regions and handing each region to a host; GFAM (Sec 3.3) maps regions
+into every host simultaneously. :class:`AddressSpace` models a flat
+physical address space into which devices are mapped as
+:class:`Region` objects, and resolves addresses back to the owning
+device.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import AddressError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .memory import MemoryDevice
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous address range backed by one memory device."""
+
+    base: int
+    size: int
+    device: "MemoryDevice"
+    label: str = ""
+    shared: bool = False  # True for GFAM/GIM regions mapped by many hosts
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise AddressError(
+                f"invalid region base={self.base} size={self.size}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """Whether *addr* falls inside this region."""
+        return self.base <= addr < self.end
+
+    def offset_of(self, addr: int) -> int:
+        """Device-relative offset of *addr*."""
+        if not self.contains(addr):
+            raise AddressError(f"address {addr:#x} outside region {self}")
+        return addr - self.base
+
+    def __repr__(self) -> str:
+        return (
+            f"Region({self.label or self.device.name},"
+            f" base={self.base:#x}, size={self.size})"
+        )
+
+
+@dataclass
+class AddressSpace:
+    """A flat physical address space composed of non-overlapping regions."""
+
+    name: str = "phys"
+    _regions: list[Region] = field(default_factory=list)
+    _bases: list[int] = field(default_factory=list)
+
+    def map_device(self, device: "MemoryDevice", label: str = "",
+                   shared: bool = False) -> Region:
+        """Append a device's full capacity at the top of the space."""
+        base = self.top
+        region = Region(
+            base=base,
+            size=device.capacity_bytes,
+            device=device,
+            label=label or device.name,
+            shared=shared,
+        )
+        self._insert(region)
+        return region
+
+    def map_region(self, region: Region) -> Region:
+        """Insert an externally built region (must not overlap)."""
+        self._insert(region)
+        return region
+
+    def _insert(self, region: Region) -> None:
+        idx = bisect.bisect_left(self._bases, region.base)
+        before = self._regions[idx - 1] if idx > 0 else None
+        after = self._regions[idx] if idx < len(self._regions) else None
+        if before is not None and before.end > region.base:
+            raise AddressError(f"{region} overlaps {before}")
+        if after is not None and region.end > after.base:
+            raise AddressError(f"{region} overlaps {after}")
+        self._regions.insert(idx, region)
+        self._bases.insert(idx, region.base)
+
+    @property
+    def top(self) -> int:
+        """First address above every mapped region."""
+        return self._regions[-1].end if self._regions else 0
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes covered by mapped regions."""
+        return sum(region.size for region in self._regions)
+
+    def resolve(self, addr: int) -> Region:
+        """Find the region containing *addr*, or raise AddressError."""
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx >= 0:
+            region = self._regions[idx]
+            if region.contains(addr):
+                return region
+        raise AddressError(f"unmapped address {addr:#x} in space {self.name}")
+
+    def regions(self) -> Iterator[Region]:
+        """Iterate regions in address order."""
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,72 @@
+"""Shared-bandwidth contention model.
+
+A :class:`SharedChannel` is a work-conserving FIFO server draining
+requests at a fixed rate. Concurrent requests therefore queue behind
+one another, which is how contention on a memory channel, CXL port, or
+NIC surfaces as extra latency. The model is analytic: callers pass the
+current virtual time and receive the completion time back, so no event
+scheduling is needed on the fast path.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import transfer_time_ns
+
+
+class SharedChannel:
+    """A FIFO bandwidth server shared by any number of streams."""
+
+    __slots__ = ("name", "bandwidth", "_free_at", "_bytes", "_busy_ns")
+
+    def __init__(self, name: str, bandwidth_bytes_per_ns: float) -> None:
+        if bandwidth_bytes_per_ns <= 0:
+            raise ConfigError(f"{name}: bandwidth must be positive")
+        self.name = name
+        self.bandwidth = bandwidth_bytes_per_ns
+        self._free_at = 0.0
+        self._bytes = 0
+        self._busy_ns = 0.0
+
+    def request(self, size_bytes: int, now_ns: float) -> float:
+        """Enqueue a transfer of *size_bytes* at *now_ns*.
+
+        Returns the virtual time at which the transfer completes. The
+        channel serves requests in arrival order at full bandwidth.
+        """
+        service = transfer_time_ns(size_bytes, self.bandwidth)
+        start = max(now_ns, self._free_at)
+        done = start + service
+        self._free_at = done
+        self._bytes += size_bytes
+        self._busy_ns += service
+        return done
+
+    def queueing_delay(self, now_ns: float) -> float:
+        """How long a request arriving at *now_ns* would wait (ns)."""
+        return max(0.0, self._free_at - now_ns)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total payload bytes pushed through the channel."""
+        return self._bytes
+
+    @property
+    def busy_time_ns(self) -> float:
+        """Total time the channel spent actively transferring."""
+        return self._busy_ns
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of *elapsed_ns* the channel was busy, in [0, 1]."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self._busy_ns / elapsed_ns)
+
+    def reset(self) -> None:
+        """Clear accounting and release the channel immediately."""
+        self._free_at = 0.0
+        self._bytes = 0
+        self._busy_ns = 0.0
+
+    def __repr__(self) -> str:
+        return f"SharedChannel({self.name!r}, bw={self.bandwidth:.2f}B/ns)"

@@ -1,0 +1,126 @@
+"""Per-agent hardware cache model.
+
+A :class:`AgentCache` is a set-associative, LRU cache of line addresses
+that sits in front of a :class:`~repro.sim.coherence.CoherenceDirectory`.
+It produces realistic miss/eviction streams so coherence-traffic
+experiments (E7/F1) see capacity effects, not just sharing effects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import CACHE_LINE
+from .coherence import CoherenceDirectory
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit, in [0, 1]."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class AgentCache:
+    """Set-associative LRU cache attached to one coherence agent."""
+
+    def __init__(
+        self,
+        directory: CoherenceDirectory,
+        capacity_bytes: int,
+        ways: int = 8,
+        line_bytes: int = CACHE_LINE,
+        agent_id: int | None = None,
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0:
+            raise ConfigError("cache capacity and line size must be positive")
+        lines = capacity_bytes // line_bytes
+        if lines < ways or lines % ways != 0:
+            raise ConfigError(
+                f"capacity {capacity_bytes} not divisible into {ways}-way sets"
+            )
+        self.directory = directory
+        self.agent_id = directory.register_agent(agent_id)
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = lines // ways
+        self.stats = CacheStats()
+        # One OrderedDict per set: line address -> dirty flag, LRU order.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _set_for(self, line: int) -> OrderedDict[int, bool]:
+        return self._sets[line % self.num_sets]
+
+    def line_of(self, addr: int) -> int:
+        """Cache-line index of a byte address."""
+        return addr // self.line_bytes
+
+    def contains(self, line: int) -> bool:
+        """Whether the line is currently resident."""
+        return line in self._set_for(line)
+
+    # -- accesses ----------------------------------------------------------
+
+    def load(self, addr: int) -> int:
+        """Load the byte at *addr*. Returns coherence messages caused."""
+        return self._access(addr, is_write=False)
+
+    def store(self, addr: int) -> int:
+        """Store to the byte at *addr*. Returns coherence messages."""
+        return self._access(addr, is_write=True)
+
+    def _access(self, addr: int, is_write: bool) -> int:
+        line = self.line_of(addr)
+        cache_set = self._set_for(line)
+        messages = 0
+        if line in cache_set:
+            self.stats.hits += 1
+            cache_set.move_to_end(line)
+            if is_write:
+                # An upgrade may still invalidate remote sharers.
+                messages = self.directory.write(self.agent_id, line)
+                cache_set[line] = True
+            else:
+                # A hit can still be a stale S copy if someone else wrote;
+                # the directory read is a no-op when we genuinely hold it.
+                messages = self.directory.read(self.agent_id, line)
+            return messages
+
+        self.stats.misses += 1
+        if len(cache_set) >= self.ways:
+            victim, _dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            messages += self.directory.evict(self.agent_id, victim)
+        if is_write:
+            messages += self.directory.write(self.agent_id, line)
+        else:
+            messages += self.directory.read(self.agent_id, line)
+        cache_set[line] = is_write
+        return messages
+
+    def invalidate_all(self) -> int:
+        """Flush the cache (e.g. on agent failure). Returns messages."""
+        messages = 0
+        for cache_set in self._sets:
+            for line in list(cache_set):
+                messages += self.directory.evict(self.agent_id, line)
+            cache_set.clear()
+        return messages

@@ -1,0 +1,46 @@
+"""Virtual time.
+
+The simulator measures everything in nanoseconds of *virtual* time held
+by a :class:`SimClock`. Components charge costs to the clock instead of
+sleeping, so simulations are deterministic and run as fast as Python
+allows.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class SimClock:
+    """A monotonically non-decreasing nanosecond clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        if start_ns < 0:
+            raise SimulationError(f"clock cannot start at {start_ns}")
+        self._now = float(start_ns)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in ns."""
+        return self._now
+
+    def advance(self, delta_ns: float) -> float:
+        """Move time forward by *delta_ns* and return the new time."""
+        if delta_ns < 0:
+            raise SimulationError(f"cannot advance clock by {delta_ns} ns")
+        self._now += delta_ns
+        return self._now
+
+    def advance_to(self, t_ns: float) -> float:
+        """Move time forward to the absolute instant *t_ns*."""
+        if t_ns < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now}, target={t_ns}"
+            )
+        self._now = float(t_ns)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.1f}ns)"

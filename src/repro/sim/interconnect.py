@@ -1,0 +1,170 @@
+"""Links and access paths.
+
+A :class:`Link` is one hop between components (a PCIe/CXL port, a UPI
+socket link, a switch traversal, an RDMA NIC pair). An
+:class:`AccessPath` is an ordered chain of links ending at a memory
+device; it answers "how long does it take to move N bytes from here to
+that device", which is the primitive every higher layer is built on.
+
+Protocol efficiency matters twice (Sec 2.5): a 400 Gb NIC exposes only
+~78% of its PCIe slot as network payload, while a CXL adapter exposes
+the full slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import LinkSpec
+from ..errors import ConfigError
+from ..units import CACHE_LINE, transfer_time_ns
+from .bandwidth import SharedChannel
+from .memory import MemoryDevice
+
+
+class Link:
+    """A single interconnect hop with shared-bandwidth accounting."""
+
+    def __init__(self, spec: LinkSpec, name: str | None = None) -> None:
+        self.spec = spec
+        self.name = name or spec.name
+        self.channel = SharedChannel(self.name, spec.raw_bandwidth)
+
+    @property
+    def latency_ns(self) -> float:
+        """One-way traversal latency of the hop."""
+        return self.spec.latency_ns
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Payload bandwidth after protocol overhead (bytes/ns)."""
+        return self.spec.effective_bandwidth
+
+    def transfer_completion(self, size_bytes: int, now_ns: float) -> float:
+        """Contended transfer through this hop; returns completion time."""
+        raw = int(size_bytes / self.spec.protocol_efficiency)
+        done = self.channel.request(raw, now_ns)
+        return done + self.spec.latency_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.name!r}, lat={self.latency_ns}ns,"
+            f" bw={self.effective_bandwidth:.1f}GB/s)"
+        )
+
+
+#: How deep hardware prefetchers run ahead on sequential streams;
+#: amortizes access latency on scans (they become bandwidth-bound).
+PREFETCH_DEPTH = 8
+
+
+@dataclass
+class AccessPath:
+    """A chain of links terminating at a memory device.
+
+    The unloaded time to read *size* bytes over the path is::
+
+        sum(hop latencies) + device access latency + size / path_bw
+
+    where ``path_bw`` is the narrowest effective bandwidth along the
+    path (links and device). Sequential variants divide the latency
+    term by :data:`PREFETCH_DEPTH`: streaming accesses are
+    bandwidth-bound because prefetchers hide most of the latency —
+    which is why scan-heavy OLAP tolerates CXL so much better than
+    pointer-chasing OLTP (Sec 3.1).
+    """
+
+    device: MemoryDevice
+    links: tuple[Link, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.device is None:
+            raise ConfigError("AccessPath requires a terminal device")
+        self.links = tuple(self.links)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of interconnect hops before the device."""
+        return len(self.links)
+
+    @property
+    def link_latency_ns(self) -> float:
+        """Sum of one-way hop latencies."""
+        return sum(link.latency_ns for link in self.links)
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Narrowest effective read bandwidth along the path (bytes/ns)."""
+        bandwidths = [link.effective_bandwidth for link in self.links]
+        bandwidths.append(self.device.spec.effective_load_bandwidth)
+        return min(bandwidths)
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Narrowest effective write bandwidth along the path (bytes/ns)."""
+        bandwidths = [link.effective_bandwidth for link in self.links]
+        bandwidths.append(self.device.spec.effective_store_bandwidth)
+        return min(bandwidths)
+
+    def read_latency_ns(self) -> float:
+        """Unloaded latency of a single cache-line load."""
+        return self.link_latency_ns + self.device.spec.load_latency_ns
+
+    def write_latency_ns(self) -> float:
+        """Unloaded latency of a single cache-line store."""
+        return self.link_latency_ns + self.device.spec.store_latency_ns
+
+    def read_time(self, size_bytes: int = CACHE_LINE) -> float:
+        """Unloaded time to read *size_bytes* end to end (ns)."""
+        self.device.stats.loads += 1
+        self.device.stats.load_bytes += size_bytes
+        return self.read_latency_ns() + transfer_time_ns(
+            size_bytes, self.read_bandwidth
+        )
+
+    def write_time(self, size_bytes: int = CACHE_LINE) -> float:
+        """Unloaded time to write *size_bytes* end to end (ns)."""
+        self.device.stats.stores += 1
+        self.device.stats.store_bytes += size_bytes
+        return self.write_latency_ns() + transfer_time_ns(
+            size_bytes, self.write_bandwidth
+        )
+
+    def read_time_sequential(self, size_bytes: int) -> float:
+        """Streaming read: latency amortized by the prefetch depth."""
+        self.device.stats.loads += 1
+        self.device.stats.load_bytes += size_bytes
+        return self.read_latency_ns() / PREFETCH_DEPTH + transfer_time_ns(
+            size_bytes, self.read_bandwidth
+        )
+
+    def write_time_sequential(self, size_bytes: int) -> float:
+        """Streaming write: latency amortized by write combining."""
+        self.device.stats.stores += 1
+        self.device.stats.store_bytes += size_bytes
+        return self.write_latency_ns() / PREFETCH_DEPTH + transfer_time_ns(
+            size_bytes, self.write_bandwidth
+        )
+
+    def read_completion(self, size_bytes: int, now_ns: float) -> float:
+        """Contended read: charges every hop channel and the device."""
+        t = now_ns
+        for link in self.links:
+            t = link.transfer_completion(size_bytes, t)
+        return self.device.load_completion(size_bytes, t)
+
+    def write_completion(self, size_bytes: int, now_ns: float) -> float:
+        """Contended write: charges every hop channel and the device."""
+        t = now_ns
+        for link in self.links:
+            t = link.transfer_completion(size_bytes, t)
+        return self.device.store_completion(size_bytes, t)
+
+    def extended(self, link: Link) -> "AccessPath":
+        """A new path with *link* prepended (one hop farther away)."""
+        return AccessPath(device=self.device, links=(link, *self.links))
+
+    def __repr__(self) -> str:
+        hops = " -> ".join(link.name for link in self.links)
+        arrow = f"{hops} -> " if hops else ""
+        return f"AccessPath({arrow}{self.device.name})"

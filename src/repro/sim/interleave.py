@@ -1,0 +1,114 @@
+"""Interleaved memory: striping one address range across devices.
+
+Real CXL deployments (including Pond) interleave pages across several
+expanders — and across DRAM + CXL — to aggregate bandwidth and to
+dilute the latency penalty. An :class:`InterleaveSet` makes N devices
+(or N access paths) behave as one: capacity adds up, streaming
+bandwidth approaches the sum, and the *average* access latency is the
+stripe-weighted mean of the member latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import CACHE_LINE, transfer_time_ns
+from .interconnect import AccessPath
+
+
+@dataclass
+class InterleaveSet:
+    """N access paths striped at a fixed granularity.
+
+    ``weights`` optionally skews the stripe (e.g. 1:1 DRAM:CXL or
+    3:1); by default every member receives an equal share.
+    """
+
+    paths: list[AccessPath]
+    granularity_bytes: int = 256
+    weights: list[int] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ConfigError("an interleave set needs members")
+        if self.granularity_bytes <= 0:
+            raise ConfigError("granularity must be positive")
+        if self.weights is None:
+            self.weights = [1] * len(self.paths)
+        if len(self.weights) != len(self.paths):
+            raise ConfigError("one weight per path required")
+        if any(w <= 0 for w in self.weights):
+            raise ConfigError("weights must be positive")
+        total = sum(self.weights)
+        self._shares = [w / total for w in self.weights]
+
+    # -- aggregate properties --------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Sum of member capacities."""
+        return sum(path.device.capacity_bytes for path in self.paths)
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Aggregate streaming read bandwidth (bytes/ns).
+
+        Striping engages every member in parallel; the stripe is
+        balanced by weight, so the aggregate is limited by the member
+        that exhausts its share first.
+        """
+        return min(
+            path.read_bandwidth / share
+            for path, share in zip(self.paths, self._shares)
+        )
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        """Stripe-weighted mean single-access latency."""
+        return sum(
+            share * path.read_latency_ns()
+            for path, share in zip(self.paths, self._shares)
+        )
+
+    # -- member selection ---------------------------------------------------
+
+    def path_for(self, addr: int) -> AccessPath:
+        """The member serving *addr*, by weighted round-robin stripe."""
+        stripe = addr // self.granularity_bytes
+        total = sum(self.weights)
+        slot = stripe % total
+        for path, weight in zip(self.paths, self.weights):
+            if slot < weight:
+                return path
+            slot -= weight
+        raise AssertionError("unreachable")
+
+    # -- timing ----------------------------------------------------------------
+
+    def read_time(self, addr: int, size_bytes: int = CACHE_LINE) -> float:
+        """Unloaded read of *size_bytes* at *addr* (single member for
+        accesses within one stripe unit; parallel across members for
+        larger transfers)."""
+        if size_bytes <= self.granularity_bytes:
+            return self.path_for(addr).read_time(size_bytes)
+        latency = self.mean_read_latency_ns
+        return latency + transfer_time_ns(size_bytes, self.read_bandwidth)
+
+    def write_time(self, addr: int, size_bytes: int = CACHE_LINE) -> float:
+        """Unloaded write of *size_bytes* at *addr*."""
+        if size_bytes <= self.granularity_bytes:
+            return self.path_for(addr).write_time(size_bytes)
+        latency = sum(
+            share * path.write_latency_ns()
+            for path, share in zip(self.paths, self._shares)
+        )
+        bandwidth = min(
+            path.write_bandwidth / share
+            for path, share in zip(self.paths, self._shares)
+        )
+        return latency + transfer_time_ns(size_bytes, bandwidth)
+
+    def expected_read_latency_ns(self) -> float:
+        """What a random single-line load costs on average."""
+        return self.mean_read_latency_ns

@@ -1,0 +1,197 @@
+"""Byte-addressable memory devices.
+
+A :class:`MemoryDevice` wraps a :class:`~repro.config.MemorySpec` with
+three responsibilities:
+
+* **timing** — unloaded access latency plus streaming bandwidth, with
+  protocol efficiency applied (an inefficient protocol occupies more of
+  the raw channel per payload byte, which is how the Intel 70%-vs-46%
+  observation is modelled);
+* **contention** — all accesses share one
+  :class:`~repro.sim.bandwidth.SharedChannel`;
+* **allocation** — a first-fit byte allocator so pooling experiments can
+  measure used vs stranded capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MemoryKind, MemorySpec
+from ..errors import AddressError, ConfigError, DeviceFailure
+from ..units import CACHE_LINE, transfer_time_ns
+from .bandwidth import SharedChannel
+
+
+@dataclass
+class MemoryStats:
+    """Access counters for one device."""
+
+    loads: int = 0
+    stores: int = 0
+    load_bytes: int = 0
+    store_bytes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of load + store operations."""
+        return self.loads + self.stores
+
+    @property
+    def bytes_total(self) -> int:
+        """Total payload bytes moved."""
+        return self.load_bytes + self.store_bytes
+
+
+class MemoryDevice:
+    """One memory device (DIMM group, CXL expander, NVM module)."""
+
+    def __init__(self, spec: MemorySpec, name: str | None = None) -> None:
+        self.spec = spec
+        self.name = name or spec.name
+        self.stats = MemoryStats()
+        self.channel = SharedChannel(self.name, spec.peak_bandwidth)
+        self._failed = False
+        # First-fit free list: sorted list of (offset, size) holes.
+        self._holes: list[tuple[int, int]] = [(0, spec.capacity_bytes)]
+        self._allocations: dict[int, int] = {}
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def kind(self) -> MemoryKind:
+        """Device class (local DRAM, CXL DRAM, ...)."""
+        return self.spec.kind
+
+    @property
+    def is_cxl(self) -> bool:
+        """Whether the device sits behind a CXL port."""
+        return self.spec.kind in (
+            MemoryKind.CXL_DRAM, MemoryKind.CXL_HBM, MemoryKind.CXL_NVM
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total device capacity."""
+        return self.spec.capacity_bytes
+
+    # -- failure injection ----------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """False after :meth:`fail` was called."""
+        return not self._failed
+
+    def fail(self) -> None:
+        """Mark the device failed; further accesses raise DeviceFailure."""
+        self._failed = True
+
+    def repair(self) -> None:
+        """Clear the failure flag."""
+        self._failed = False
+
+    def _check_health(self) -> None:
+        if self._failed:
+            raise DeviceFailure(f"device {self.name} has failed")
+
+    # -- timing ----------------------------------------------------------
+
+    def load_time(self, size_bytes: int = CACHE_LINE) -> float:
+        """Unloaded time to read *size_bytes*, in ns."""
+        self._check_health()
+        self.stats.loads += 1
+        self.stats.load_bytes += size_bytes
+        return self.spec.load_latency_ns + transfer_time_ns(
+            size_bytes, self.spec.effective_load_bandwidth
+        )
+
+    def store_time(self, size_bytes: int = CACHE_LINE) -> float:
+        """Unloaded time to write *size_bytes*, in ns."""
+        self._check_health()
+        self.stats.stores += 1
+        self.stats.store_bytes += size_bytes
+        return self.spec.store_latency_ns + transfer_time_ns(
+            size_bytes, self.spec.effective_store_bandwidth
+        )
+
+    def load_completion(self, size_bytes: int, now_ns: float) -> float:
+        """Contended read: completion time given the shared channel.
+
+        The channel is charged ``size / efficiency`` raw bytes, so a
+        less efficient protocol both slows this access and congests the
+        device more for everyone else.
+        """
+        self._check_health()
+        self.stats.loads += 1
+        self.stats.load_bytes += size_bytes
+        raw = int(size_bytes / self.spec.load_efficiency)
+        done = self.channel.request(raw, now_ns)
+        return done + self.spec.load_latency_ns
+
+    def store_completion(self, size_bytes: int, now_ns: float) -> float:
+        """Contended write: completion time given the shared channel."""
+        self._check_health()
+        self.stats.stores += 1
+        self.stats.store_bytes += size_bytes
+        raw = int(size_bytes / self.spec.store_efficiency)
+        done = self.channel.request(raw, now_ns)
+        return done + self.spec.store_latency_ns
+
+    # -- allocation -------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently handed out by :meth:`allocate`."""
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes not currently allocated (the *stranded* capacity when
+        no consumer can reach them)."""
+        return self.capacity_bytes - self.allocated_bytes
+
+    def allocate(self, size_bytes: int) -> int:
+        """First-fit allocation; returns the device-relative offset."""
+        self._check_health()
+        if size_bytes <= 0:
+            raise ConfigError(f"allocation size must be positive: {size_bytes}")
+        for idx, (offset, hole) in enumerate(self._holes):
+            if hole >= size_bytes:
+                if hole == size_bytes:
+                    del self._holes[idx]
+                else:
+                    self._holes[idx] = (offset + size_bytes, hole - size_bytes)
+                self._allocations[offset] = size_bytes
+                return offset
+        raise AddressError(
+            f"{self.name}: cannot allocate {size_bytes} B"
+            f" ({self.free_bytes} B free, fragmented into"
+            f" {len(self._holes)} holes)"
+        )
+
+    def free(self, offset: int) -> None:
+        """Release an allocation, coalescing adjacent holes."""
+        size = self._allocations.pop(offset, None)
+        if size is None:
+            raise AddressError(f"{self.name}: no allocation at {offset:#x}")
+        self._holes.append((offset, size))
+        self._holes.sort()
+        merged: list[tuple[int, int]] = []
+        for start, length in self._holes:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                prev_start, prev_len = merged[-1]
+                merged[-1] = (prev_start, prev_len + length)
+            else:
+                merged.append((start, length))
+        self._holes = merged
+
+    def reset_stats(self) -> None:
+        """Zero the access counters and channel accounting."""
+        self.stats = MemoryStats()
+        self.channel.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryDevice({self.name!r}, kind={self.kind.value},"
+            f" cap={self.capacity_bytes})"
+        )

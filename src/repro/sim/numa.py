@@ -1,0 +1,152 @@
+"""NUMA systems, with CXL expanders as core-less NUMA nodes.
+
+Sec 2.4 of the paper: "When a CXL memory expander is used, it
+effectively attaches more DRAM DIMMs to the system by creating an
+additional NUMA node, albeit one without any cores." This module builds
+exactly that: sockets with cores and local DRAM, joined by UPI-style
+links, plus optional CXL nodes hanging off a socket through a CXL port
+(and optionally a switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import config
+from ..errors import TopologyError
+from .interconnect import AccessPath, Link
+from .memory import MemoryDevice
+
+
+@dataclass
+class NUMANode:
+    """One NUMA node: memory plus (possibly zero) cores."""
+
+    node_id: int
+    device: MemoryDevice
+    cores: int = 0
+    attach_links: tuple[Link, ...] = field(default_factory=tuple)
+
+    @property
+    def is_cxl(self) -> bool:
+        """True for expander-backed (core-less) nodes."""
+        return self.device.is_cxl
+
+    def __repr__(self) -> str:
+        return (
+            f"NUMANode({self.node_id}, cores={self.cores},"
+            f" device={self.device.name})"
+        )
+
+
+class NUMASystem:
+    """A multi-socket server, optionally extended with CXL nodes.
+
+    Latency convention: socket DRAM uses the *local* spec (e.g.
+    :func:`repro.config.local_ddr5`); remoteness is charged by the UPI
+    link on the access path. CXL expander specs are end-to-end from the
+    attached socket, so a direct attach adds no further link latency
+    and a switched attach adds one switch hop.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, NUMANode] = {}
+        self._attachment: dict[int, int] = {}
+        self._socket_link = Link(config.numa_link())
+
+    # -- construction -----------------------------------------------------
+
+    def add_socket(self, device: MemoryDevice, cores: int = 32) -> NUMANode:
+        """Add a CPU socket with its locally attached DRAM."""
+        if cores <= 0:
+            raise TopologyError("a socket must have cores")
+        node = NUMANode(node_id=len(self._nodes), device=device, cores=cores)
+        self._nodes[node.node_id] = node
+        return node
+
+    def add_cxl_expander(
+        self,
+        device: MemoryDevice,
+        attached_to: NUMANode,
+        through_switch: bool = False,
+        port: Link | None = None,
+    ) -> NUMANode:
+        """Attach an expander below *attached_to*, as a core-less node.
+
+        With ``through_switch=True`` the path gains a CXL 2.0 switch
+        hop, modelling a pooled expander in a remote chassis.
+        """
+        if attached_to.node_id not in self._nodes:
+            raise TopologyError(f"unknown socket {attached_to}")
+        links: list[Link] = [port or Link(config.cxl_port())]
+        if through_switch:
+            links.append(Link(config.cxl_switch_hop()))
+        node = NUMANode(
+            node_id=len(self._nodes),
+            device=device,
+            cores=0,
+            attach_links=tuple(links),
+        )
+        self._nodes[node.node_id] = node
+        self._attachment[node.node_id] = attached_to.node_id
+        return node
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[NUMANode]:
+        """All nodes in id order."""
+        return [self._nodes[i] for i in sorted(self._nodes)]
+
+    @property
+    def sockets(self) -> list[NUMANode]:
+        """Nodes that have cores."""
+        return [n for n in self.nodes if n.cores > 0]
+
+    @property
+    def cxl_nodes(self) -> list[NUMANode]:
+        """Core-less expander nodes."""
+        return [n for n in self.nodes if n.is_cxl]
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Capacity across every node, local and CXL."""
+        return sum(n.device.capacity_bytes for n in self.nodes)
+
+    def node(self, node_id: int) -> NUMANode:
+        """Look a node up by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"no NUMA node {node_id}") from None
+
+    # -- access paths -------------------------------------------------------
+
+    def path(self, from_node: NUMANode, to_node: NUMANode) -> AccessPath:
+        """Access path from a core on *from_node* to *to_node*'s memory.
+
+        * same node: direct device access;
+        * socket to socket: one UPI hop;
+        * socket to CXL node: the expander's attach links, plus a UPI
+          hop first if the expander hangs off a different socket.
+        """
+        if from_node.cores == 0:
+            raise TopologyError(
+                f"{from_node} has no cores; cannot originate accesses"
+            )
+        if from_node.node_id == to_node.node_id:
+            return AccessPath(device=to_node.device)
+        if not to_node.is_cxl:
+            return AccessPath(
+                device=to_node.device, links=(self._socket_link,)
+            )
+        home_socket = self._attachment.get(to_node.node_id)
+        links: list[Link] = []
+        if home_socket is not None and home_socket != from_node.node_id:
+            links.append(self._socket_link)
+        links.extend(to_node.attach_links)
+        return AccessPath(device=to_node.device, links=tuple(links))
+
+    def local_path(self, socket: NUMANode) -> AccessPath:
+        """Convenience: path from a socket to its own DRAM."""
+        return self.path(socket, socket)

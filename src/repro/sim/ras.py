@@ -1,0 +1,163 @@
+"""Failure injection and detection: CXL RAS vs software timeouts.
+
+Sec 2.6 of the paper makes two fault-tolerance claims:
+
+1. CXL builds failure detection and propagation into the protocol
+   (RAS), so "reaction times in a CXL platform are likely faster than
+   in a traditional distributed system" — modelled by comparing a
+   hardware :class:`RASMonitor` (protocol-level detection, tens of
+   microseconds) against a :class:`TimeoutMonitor` (heartbeats over
+   TCP, hundreds of milliseconds).
+2. A CXL memory pool involves fewer components than a remote server's
+   memory, so the failure probability of the path is lower — modelled
+   by :func:`path_failure_probability` over per-component annual
+   failure rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..units import ms, us
+from .events import Simulator
+from .memory import MemoryDevice
+
+
+@dataclass
+class DetectionRecord:
+    """Outcome of one monitored failure."""
+
+    device_name: str
+    failed_at_ns: float
+    detected_at_ns: float
+
+    @property
+    def detection_delay_ns(self) -> float:
+        """Time from failure to detection."""
+        return self.detected_at_ns - self.failed_at_ns
+
+
+class RASMonitor:
+    """Hardware (protocol-level) failure detection.
+
+    CXL RAS surfaces poisoned reads / link-down conditions in-band, so
+    detection happens within a protocol timeout, not a software one.
+    """
+
+    def __init__(self, detection_latency_ns: float = us(10.0)) -> None:
+        if detection_latency_ns <= 0:
+            raise SimulationError("detection latency must be positive")
+        self.detection_latency_ns = detection_latency_ns
+        self.records: list[DetectionRecord] = []
+
+    def observe_failure(self, sim: Simulator, device: MemoryDevice,
+                        failed_at_ns: float) -> None:
+        """Arm detection of a failure that just happened."""
+        def _detect() -> None:
+            self.records.append(DetectionRecord(
+                device_name=device.name,
+                failed_at_ns=failed_at_ns,
+                detected_at_ns=sim.now,
+            ))
+        sim.after(self.detection_latency_ns, _detect)
+
+
+class TimeoutMonitor:
+    """Software failure detection by missed heartbeats over TCP.
+
+    A peer is declared dead after ``miss_threshold`` consecutive missed
+    heartbeats. Detection therefore takes between ``(threshold-1)`` and
+    ``threshold`` heartbeat intervals past the failure.
+    """
+
+    def __init__(self, heartbeat_interval_ns: float = ms(100.0),
+                 miss_threshold: int = 3) -> None:
+        if heartbeat_interval_ns <= 0 or miss_threshold <= 0:
+            raise SimulationError("invalid timeout-monitor configuration")
+        self.heartbeat_interval_ns = heartbeat_interval_ns
+        self.miss_threshold = miss_threshold
+        self.records: list[DetectionRecord] = []
+
+    def detection_time_ns(self, failed_at_ns: float) -> float:
+        """When a failure at *failed_at_ns* is declared (absolute ns)."""
+        interval = self.heartbeat_interval_ns
+        first_missed = math.ceil(failed_at_ns / interval) * interval
+        if first_missed == failed_at_ns:
+            first_missed += interval
+        return first_missed + (self.miss_threshold - 1) * interval
+
+    def observe_failure(self, sim: Simulator, device: MemoryDevice,
+                        failed_at_ns: float) -> None:
+        """Arm detection of a failure that just happened."""
+        detect_at = self.detection_time_ns(failed_at_ns)
+
+        def _detect() -> None:
+            self.records.append(DetectionRecord(
+                device_name=device.name,
+                failed_at_ns=failed_at_ns,
+                detected_at_ns=sim.now,
+            ))
+        sim.at(detect_at, _detect)
+
+
+@dataclass
+class FailureInjector:
+    """Schedules device failures and notifies monitors."""
+
+    sim: Simulator
+    monitors: list[object] = field(default_factory=list)
+    injected: list[tuple[str, float]] = field(default_factory=list)
+
+    def attach(self, monitor: RASMonitor | TimeoutMonitor) -> None:
+        """Subscribe a monitor to future failures."""
+        self.monitors.append(monitor)
+
+    def fail_at(self, device: MemoryDevice, time_ns: float) -> None:
+        """Schedule *device* to fail at the absolute time *time_ns*."""
+        def _fail() -> None:
+            device.fail()
+            self.injected.append((device.name, self.sim.now))
+            for monitor in self.monitors:
+                monitor.observe_failure(self.sim, device, self.sim.now)
+        self.sim.at(time_ns, _fail)
+
+
+# -- component-count failure model (Sec 2.6, second advantage) -----------------
+
+#: Representative annual failure rates per component class.
+ANNUAL_FAILURE_RATE: dict[str, float] = {
+    "dram_module": 0.006,
+    "cxl_controller": 0.005,
+    "cxl_switch": 0.008,
+    "cpu": 0.010,
+    "motherboard": 0.020,
+    "psu": 0.025,
+    "nic": 0.010,
+    "tor_switch": 0.015,
+    "os_software": 0.050,
+}
+
+#: Components on the path to a CXL pooled-memory slice.
+CXL_POOL_PATH = ("dram_module", "cxl_controller", "cxl_switch")
+
+#: Components on the path to another server's memory over RDMA:
+#: the whole remote server must stay up, plus both NICs and the ToR.
+REMOTE_SERVER_PATH = (
+    "dram_module", "cpu", "motherboard", "psu", "os_software",
+    "nic", "nic", "tor_switch",
+)
+
+
+def path_failure_probability(components: tuple[str, ...],
+                             horizon_years: float = 1.0) -> float:
+    """Probability that at least one component on the path fails
+    within the horizon, assuming independent exponential lifetimes."""
+    if horizon_years <= 0:
+        raise SimulationError("horizon must be positive")
+    survive = 1.0
+    for component in components:
+        rate = ANNUAL_FAILURE_RATE[component]
+        survive *= math.exp(-rate * horizon_years)
+    return 1.0 - survive

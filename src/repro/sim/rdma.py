@@ -1,0 +1,123 @@
+"""RDMA fabric — the networking baseline CXL is compared against.
+
+Sec 2.5 of the paper: the fastest RDMA exchanges take a few
+microseconds, at least 2.5x slower than CXL's low hundreds of
+nanoseconds; and a 400 Gb/s NIC exposes only ~50 GB/s of its 64 GB/s
+PCIe Gen5 x16 slot. Both facts are modelled directly: the verbs
+latency floor comes from :data:`repro.config.RDMA_BASE_LATENCY_NS` and
+the payload efficiency from :func:`repro.config.rdma_nic_400g`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import config
+from ..errors import TopologyError
+from ..units import transfer_time_ns
+from .bandwidth import SharedChannel
+
+
+@dataclass
+class RDMAStats:
+    """Per-fabric operation counters."""
+
+    reads: int = 0
+    writes: int = 0
+    sends: int = 0
+    bytes: int = 0
+
+
+class RDMANic:
+    """One host's RDMA NIC with its payload-bandwidth channel."""
+
+    def __init__(self, host: str,
+                 spec: config.LinkSpec | None = None) -> None:
+        self.host = host
+        self.spec = spec or config.rdma_nic_400g()
+        self.channel = SharedChannel(
+            f"nic-{host}", self.spec.effective_bandwidth
+        )
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Payload bandwidth after protocol overhead (bytes/ns)."""
+        return self.spec.effective_bandwidth
+
+    @property
+    def wasted_pcie_fraction(self) -> float:
+        """Share of the PCIe slot that never becomes network payload."""
+        return 1.0 - self.spec.protocol_efficiency
+
+
+class RDMAFabric:
+    """A lossless RDMA network joining a set of hosts.
+
+    Timing model for a one-sided operation of *size* bytes::
+
+        verbs latency + size / min(src NIC, dst NIC payload bandwidth)
+
+    with both NIC channels charged for contention.
+    """
+
+    def __init__(self, switch_latency_ns: float = 300.0) -> None:
+        self.switch_latency_ns = switch_latency_ns
+        self.stats = RDMAStats()
+        self._nics: dict[str, RDMANic] = {}
+
+    def add_host(self, host: str,
+                 spec: config.LinkSpec | None = None) -> RDMANic:
+        """Attach a host to the fabric."""
+        if host in self._nics:
+            raise TopologyError(f"host {host!r} already on fabric")
+        nic = RDMANic(host, spec)
+        self._nics[host] = nic
+        return nic
+
+    def nic(self, host: str) -> RDMANic:
+        """The NIC of a host."""
+        try:
+            return self._nics[host]
+        except KeyError:
+            raise TopologyError(f"host {host!r} not on fabric") from None
+
+    def _pair(self, src: str, dst: str) -> tuple[RDMANic, RDMANic]:
+        if src == dst:
+            raise TopologyError("RDMA to self is not a network operation")
+        return self.nic(src), self.nic(dst)
+
+    def one_sided_read_time(self, src: str, dst: str,
+                            size_bytes: int) -> float:
+        """Unloaded RDMA READ latency for *size_bytes* (ns)."""
+        src_nic, dst_nic = self._pair(src, dst)
+        self.stats.reads += 1
+        self.stats.bytes += size_bytes
+        bandwidth = min(src_nic.effective_bandwidth,
+                        dst_nic.effective_bandwidth)
+        return (src_nic.spec.latency_ns + self.switch_latency_ns
+                + transfer_time_ns(size_bytes, bandwidth))
+
+    def one_sided_write_time(self, src: str, dst: str,
+                             size_bytes: int) -> float:
+        """Unloaded RDMA WRITE latency for *size_bytes* (ns)."""
+        # Writes share the READ cost model at this fidelity.
+        time_ns = self.one_sided_read_time(src, dst, size_bytes)
+        self.stats.reads -= 1
+        self.stats.writes += 1
+        return time_ns
+
+    def send_completion(self, src: str, dst: str, size_bytes: int,
+                        now_ns: float) -> float:
+        """Contended two-sided SEND; returns completion time."""
+        src_nic, dst_nic = self._pair(src, dst)
+        self.stats.sends += 1
+        self.stats.bytes += size_bytes
+        t = src_nic.channel.request(size_bytes, now_ns)
+        t = dst_nic.channel.request(size_bytes, t)
+        return t + src_nic.spec.latency_ns + self.switch_latency_ns
+
+    def rpc_time(self, src: str, dst: str, request_bytes: int,
+                 response_bytes: int) -> float:
+        """Unloaded request/response round trip (ns)."""
+        return (self.one_sided_write_time(src, dst, request_bytes)
+                + self.one_sided_read_time(dst, src, response_bytes))

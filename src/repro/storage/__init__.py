@@ -1,0 +1,12 @@
+"""Block-storage substrate: pages, devices, and page files.
+
+The bottom of the memory hierarchy. Disk-based engines page between
+here and the buffer pool (Sec 3.1 contrasts this path with CXL memory
+expansion).
+"""
+
+from .disk import StorageDevice
+from .file import PageFile
+from .page import INVALID_PAGE_ID, Page, PageId
+
+__all__ = ["INVALID_PAGE_ID", "Page", "PageFile", "PageId", "StorageDevice"]

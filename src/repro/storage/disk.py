@@ -1,0 +1,89 @@
+"""Block storage devices (SSD/HDD) with timing and contention."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import StorageSpec, nvme_ssd
+from ..errors import DeviceFailure, StorageError
+from ..units import PAGE_SIZE, transfer_time_ns
+from ..sim.bandwidth import SharedChannel
+
+
+@dataclass
+class StorageStats:
+    """I/O counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+    @property
+    def ios(self) -> int:
+        """Total I/O operations."""
+        return self.reads + self.writes
+
+
+class StorageDevice:
+    """A block device: latency + bandwidth + FIFO contention."""
+
+    def __init__(self, spec: StorageSpec | None = None,
+                 name: str | None = None) -> None:
+        self.spec = spec or nvme_ssd()
+        self.name = name or self.spec.name
+        self.stats = StorageStats()
+        self.channel = SharedChannel(self.name, self.spec.read_bandwidth)
+        self._failed = False
+
+    @property
+    def healthy(self) -> bool:
+        """False after :meth:`fail`."""
+        return not self._failed
+
+    def fail(self) -> None:
+        """Mark the device failed; further I/O raises DeviceFailure."""
+        self._failed = True
+
+    def _check(self, size_bytes: int) -> None:
+        if self._failed:
+            raise DeviceFailure(f"storage device {self.name} has failed")
+        if size_bytes <= 0:
+            raise StorageError(f"I/O size must be positive: {size_bytes}")
+
+    def read_time(self, size_bytes: int = PAGE_SIZE) -> float:
+        """Unloaded read latency for *size_bytes* (ns)."""
+        self._check(size_bytes)
+        self.stats.reads += 1
+        self.stats.read_bytes += size_bytes
+        return self.spec.read_latency_ns + transfer_time_ns(
+            size_bytes, self.spec.read_bandwidth
+        )
+
+    def write_time(self, size_bytes: int = PAGE_SIZE) -> float:
+        """Unloaded write latency for *size_bytes* (ns)."""
+        self._check(size_bytes)
+        self.stats.writes += 1
+        self.stats.write_bytes += size_bytes
+        return self.spec.write_latency_ns + transfer_time_ns(
+            size_bytes, self.spec.write_bandwidth
+        )
+
+    def read_completion(self, size_bytes: int, now_ns: float) -> float:
+        """Contended read; returns absolute completion time."""
+        self._check(size_bytes)
+        self.stats.reads += 1
+        self.stats.read_bytes += size_bytes
+        done = self.channel.request(size_bytes, now_ns)
+        return done + self.spec.read_latency_ns
+
+    def write_completion(self, size_bytes: int, now_ns: float) -> float:
+        """Contended write; returns absolute completion time."""
+        self._check(size_bytes)
+        self.stats.writes += 1
+        self.stats.write_bytes += size_bytes
+        done = self.channel.request(size_bytes, now_ns)
+        return done + self.spec.write_latency_ns
+
+    def __repr__(self) -> str:
+        return f"StorageDevice({self.name!r})"

@@ -1,0 +1,49 @@
+"""Database pages.
+
+A :class:`Page` is the unit moved between storage, DRAM, and CXL
+memory. Payload bytes are *virtual*: the simulator charges transfer
+times for ``size_bytes`` without materializing buffers, while the query
+layer attaches record payloads to pages when it needs real values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..units import PAGE_SIZE
+
+PageId = int
+
+#: Sentinel for "no page".
+INVALID_PAGE_ID: PageId = -1
+
+
+@dataclass
+class Page:
+    """One fixed-size database page."""
+
+    page_id: PageId
+    size_bytes: int = PAGE_SIZE
+    version: int = 0
+    payload: Any = None
+    _records: list = field(default_factory=list)
+
+    def bump_version(self) -> int:
+        """Record a logical modification; returns the new version."""
+        self.version += 1
+        return self.version
+
+    @property
+    def records(self) -> list:
+        """Records stored on the page (query layer)."""
+        return self._records
+
+    def add_record(self, record: Any) -> None:
+        """Append a record to the page (no capacity enforcement here;
+        the table layer decides how many records fit a page)."""
+        self._records.append(record)
+        self.bump_version()
+
+    def __repr__(self) -> str:
+        return f"Page(id={self.page_id}, v={self.version})"

@@ -1,0 +1,32 @@
+"""Workload generators.
+
+Synthetic substitutes for the traces the paper's sources used:
+Zipfian OLTP key traffic (:mod:`repro.workloads.ycsb`,
+:mod:`repro.workloads.tpcc`), analytical scans
+(:mod:`repro.workloads.scans`), and the Pond-style population of 158
+cloud workloads (:mod:`repro.workloads.cloudmix`).
+"""
+
+from .cloudmix import CloudWorkload, generate_population
+from .replay import TraceProfile, load_trace, profile_trace, save_trace
+from .scans import mixed_htap_trace, scan_trace
+from .traces import Access, interleave
+from .ycsb import YCSB_MIXES, YCSBConfig, ycsb_trace
+from .zipf import ZipfGenerator
+
+__all__ = [
+    "Access",
+    "CloudWorkload",
+    "TraceProfile",
+    "YCSBConfig",
+    "YCSB_MIXES",
+    "ZipfGenerator",
+    "generate_population",
+    "interleave",
+    "load_trace",
+    "mixed_htap_trace",
+    "profile_trace",
+    "save_trace",
+    "scan_trace",
+    "ycsb_trace",
+]

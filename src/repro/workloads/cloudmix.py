@@ -1,0 +1,105 @@
+"""A Pond-style population of cloud workloads (paper ref [31]).
+
+Microsoft's Pond study ran 158 production workloads under CXL-like
+memory latency and reported the *distribution* of slowdowns: ~26% of
+workloads saw <1% penalty and another ~17% saw <5%. What differentiates
+workloads is how memory-bound they are — the fraction of execution
+time spent waiting on memory.
+
+:func:`generate_population` synthesizes 158 workloads whose
+memory-boundedness spans the same classes; experiment E3 then *runs*
+each one against an all-DRAM and an all-CXL buffer pool and measures
+the actual slowdown CDF on our engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..config import LOCAL_DRAM_LOAD_NS
+from ..errors import ConfigError
+from .traces import Access
+from .zipf import ZipfGenerator
+
+#: Memory-boundedness classes: (population share, m_low, m_high) where
+#: m is the fraction of DRAM-run time spent in memory accesses.
+BOUNDEDNESS_CLASSES = [
+    ("compute_bound", 0.26, 0.000, 0.007),
+    ("mostly_compute", 0.17, 0.008, 0.035),
+    ("balanced", 0.40, 0.040, 0.250),
+    ("memory_bound", 0.17, 0.250, 0.700),
+]
+
+
+@dataclass(frozen=True)
+class CloudWorkload:
+    """One synthetic cloud workload."""
+
+    name: str
+    klass: str
+    memory_share: float      # target fraction of runtime in memory
+    working_set_pages: int
+    theta: float
+    read_ratio: float
+    num_ops: int
+    think_ns: float          # CPU time attributed to each access
+    seed: int
+
+    def trace(self) -> Iterator[Access]:
+        """The workload's access trace."""
+        zipf = ZipfGenerator(self.working_set_pages, theta=self.theta,
+                             seed=self.seed)
+        rng = random.Random(self.seed ^ 0xC10D)
+        pages = zipf.sample(self.num_ops)
+        for i in range(self.num_ops):
+            yield Access(
+                page_id=int(pages[i]),
+                write=rng.random() >= self.read_ratio,
+                think_ns=self.think_ns,
+            )
+
+
+def _think_time_for(memory_share: float,
+                    hit_latency_ns: float = LOCAL_DRAM_LOAD_NS) -> float:
+    """CPU think time per access that yields the target memory share
+    when every access hits DRAM."""
+    if memory_share <= 0:
+        return hit_latency_ns * 10_000.0
+    return hit_latency_ns * (1.0 - memory_share) / memory_share
+
+
+def generate_population(count: int = 158, num_ops: int = 2_000,
+                        seed: int = 7) -> list[CloudWorkload]:
+    """The synthetic 158-workload population of experiment E3."""
+    if count <= 0:
+        raise ConfigError("population count must be positive")
+    shares = [share for _n, share, _lo, _hi in BOUNDEDNESS_CLASSES]
+    if abs(sum(shares) - 1.0) > 1e-9:
+        raise ConfigError("class shares must sum to 1")
+    rng = random.Random(seed)
+    workloads: list[CloudWorkload] = []
+    # Deterministic class counts that sum to `count`.
+    counts = [int(round(share * count)) for share in shares]
+    while sum(counts) > count:
+        counts[counts.index(max(counts))] -= 1
+    while sum(counts) < count:
+        counts[counts.index(min(counts))] += 1
+    index = 0
+    for (klass, _share, m_lo, m_hi), k in zip(BOUNDEDNESS_CLASSES, counts):
+        for _ in range(k):
+            memory_share = rng.uniform(m_lo, m_hi)
+            workloads.append(CloudWorkload(
+                name=f"wl-{index:03d}",
+                klass=klass,
+                memory_share=memory_share,
+                working_set_pages=rng.choice([2_000, 5_000, 10_000]),
+                theta=rng.choice([0.0, 0.5, 0.9, 0.99]),
+                read_ratio=rng.uniform(0.5, 1.0),
+                num_ops=num_ops,
+                think_ns=_think_time_for(memory_share),
+                seed=seed * 1_000 + index,
+            ))
+            index += 1
+    return workloads

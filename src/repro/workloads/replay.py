@@ -1,0 +1,114 @@
+"""Trace persistence and analysis.
+
+Real tiering studies run on captured traces. This module round-trips
+:class:`~repro.workloads.traces.Access` streams through a compact
+numpy container (`.npz`) and computes the summary statistics that
+decide whether tiering will work on a trace: footprint, read ratio,
+scan share, and the hot-set concentration curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ConfigError
+from .traces import Access
+
+
+def save_trace(path: str | Path, trace: Iterable[Access]) -> int:
+    """Serialize a trace to *path* (.npz). Returns accesses written."""
+    page_ids, writes, scans, nbytes, thinks = [], [], [], [], []
+    for access in trace:
+        page_ids.append(access.page_id)
+        writes.append(access.write)
+        scans.append(access.is_scan)
+        nbytes.append(access.nbytes)
+        thinks.append(access.think_ns)
+    if not page_ids:
+        raise ConfigError("refusing to save an empty trace")
+    np.savez_compressed(
+        Path(path),
+        page_id=np.asarray(page_ids, dtype=np.int64),
+        write=np.asarray(writes, dtype=bool),
+        is_scan=np.asarray(scans, dtype=bool),
+        nbytes=np.asarray(nbytes, dtype=np.int32),
+        think_ns=np.asarray(thinks, dtype=np.float64),
+    )
+    return len(page_ids)
+
+
+def load_trace(path: str | Path) -> Iterator[Access]:
+    """Stream a trace back from *path*."""
+    with np.load(Path(path)) as data:
+        page_ids = data["page_id"]
+        writes = data["write"]
+        scans = data["is_scan"]
+        nbytes = data["nbytes"]
+        thinks = data["think_ns"]
+    for i in range(len(page_ids)):
+        yield Access(
+            page_id=int(page_ids[i]),
+            write=bool(writes[i]),
+            is_scan=bool(scans[i]),
+            nbytes=int(nbytes[i]),
+            think_ns=float(thinks[i]),
+        )
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of one trace."""
+
+    accesses: int
+    footprint_pages: int
+    read_ratio: float
+    scan_share: float
+    bytes_touched: int
+    #: Fraction of accesses absorbed by the hottest 1% / 10% of pages.
+    hot_1pct_share: float
+    hot_10pct_share: float
+
+    @property
+    def tierable(self) -> bool:
+        """A rough go/no-go for tiering: enough skew that a small
+        fast tier can absorb most traffic."""
+        return self.hot_10pct_share > 0.4
+
+
+def profile_trace(trace: Iterable[Access]) -> TraceProfile:
+    """Single-pass trace profiling."""
+    counts: dict[int, int] = {}
+    accesses = 0
+    reads = 0
+    scans = 0
+    bytes_touched = 0
+    for access in trace:
+        accesses += 1
+        counts[access.page_id] = counts.get(access.page_id, 0) + 1
+        if not access.write:
+            reads += 1
+        if access.is_scan:
+            scans += 1
+        bytes_touched += access.nbytes
+    if accesses == 0:
+        raise ConfigError("cannot profile an empty trace")
+    by_heat = sorted(counts.values(), reverse=True)
+    footprint = len(by_heat)
+
+    def hot_share(fraction: float) -> float:
+        k = max(1, int(footprint * fraction))
+        return sum(by_heat[:k]) / accesses
+
+    return TraceProfile(
+        accesses=accesses,
+        footprint_pages=footprint,
+        read_ratio=reads / accesses,
+        scan_share=scans / accesses,
+        bytes_touched=bytes_touched,
+        hot_1pct_share=hot_share(0.01),
+        hot_10pct_share=hot_share(0.10),
+    )

@@ -1,0 +1,59 @@
+"""Analytical scan traces and mixed HTAP workloads.
+
+Sequential scans are the canonical OLAP access pattern and the
+canonical enemy of an LRU buffer pool. The HTAP mix interleaves a
+Zipfian OLTP stream with repeated table scans to reproduce the
+interference scenario Sec 3.1 argues CXL placement can eliminate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import ConfigError
+from ..units import PAGE_SIZE
+from .traces import Access, interleave
+from .ycsb import YCSBConfig, ycsb_trace
+
+
+def scan_trace(first_page: int, num_pages: int, repeats: int = 1,
+               write: bool = False, think_ns: float = 50.0
+               ) -> Iterator[Access]:
+    """Sweep ``[first_page, first_page + num_pages)`` *repeats* times,
+    touching full pages, flagged as scan accesses."""
+    if num_pages <= 0 or repeats <= 0:
+        raise ConfigError("num_pages and repeats must be positive")
+    for _round in range(repeats):
+        for offset in range(num_pages):
+            yield Access(
+                page_id=first_page + offset,
+                write=write,
+                is_scan=True,
+                nbytes=PAGE_SIZE,
+                think_ns=think_ns,
+            )
+
+
+def mixed_htap_trace(
+    oltp_pages: int = 20_000,
+    olap_pages: int = 50_000,
+    oltp_ops: int = 50_000,
+    olap_repeats: int = 2,
+    oltp_per_olap: int = 4,
+    theta: float = 0.99,
+    seed: int = 42,
+) -> Iterator[Access]:
+    """An HTAP mix: Zipfian point traffic on pages ``[0, oltp_pages)``
+    interleaved with scans over ``[oltp_pages, oltp_pages+olap_pages)``.
+
+    ``oltp_per_olap`` controls the interleave ratio (OLTP accesses per
+    scan access), i.e. how aggressive the analytical side is.
+    """
+    oltp = ycsb_trace(YCSBConfig(
+        mix="A", num_pages=oltp_pages, num_ops=oltp_ops,
+        theta=theta, seed=seed,
+    ))
+    olap = scan_trace(
+        first_page=oltp_pages, num_pages=olap_pages, repeats=olap_repeats
+    )
+    return interleave(oltp, olap, weights=[oltp_per_olap, 1])

@@ -1,0 +1,71 @@
+"""Access traces: the lingua franca between workloads and engines.
+
+A trace is any iterable of :class:`Access` records. Generators in this
+package yield them lazily so multi-million-access experiments stay
+memory-flat.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..units import CACHE_LINE
+
+
+@dataclass(frozen=True)
+class Access:
+    """One logical page access issued by a workload.
+
+    ``think_ns`` is CPU work attributed to the access (modelling
+    compute between memory touches — what makes a workload memory- or
+    compute-bound). ``nbytes`` is how much of the page the access
+    actually touches (a point lookup touches a line; a scan touches
+    the full page).
+    """
+
+    page_id: int
+    write: bool = False
+    is_scan: bool = False
+    nbytes: int = CACHE_LINE
+    think_ns: float = 0.0
+
+
+def interleave(*traces: Iterable[Access],
+               weights: list[int] | None = None) -> Iterator[Access]:
+    """Round-robin interleave several traces until all are exhausted.
+
+    With *weights*, trace *i* contributes ``weights[i]`` accesses per
+    round (a cheap way to mix OLTP and OLAP load at a chosen ratio).
+    """
+    iterators = [iter(trace) for trace in traces]
+    if weights is None:
+        weights = [1] * len(iterators)
+    if len(weights) != len(iterators):
+        raise ValueError("one weight per trace required")
+    live = set(range(len(iterators)))
+    while live:
+        for index in list(live):
+            for _ in range(weights[index]):
+                try:
+                    yield next(iterators[index])
+                except StopIteration:
+                    live.discard(index)
+                    break
+
+
+def take(trace: Iterable[Access], n: int) -> Iterator[Access]:
+    """The first *n* accesses of a trace."""
+    iterator = iter(trace)
+    for _ in range(n):
+        try:
+            yield next(iterator)
+        except StopIteration:
+            return
+
+
+def merge_timed(*timed_traces: Iterable[tuple[float, Access]]
+                ) -> Iterator[tuple[float, Access]]:
+    """Merge (timestamp, access) streams by timestamp."""
+    return heapq.merge(*timed_traces, key=lambda pair: pair[0])

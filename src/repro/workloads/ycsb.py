@@ -1,0 +1,106 @@
+"""YCSB-like OLTP traces.
+
+The standard cloud-serving mixes (A-F) over a page population with
+Zipfian skew. Keys map to pages at a configurable fill factor, so the
+trace exercises a buffer pool exactly like point transactions do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ConfigError
+from .traces import Access
+from .zipf import ZipfGenerator
+
+#: Standard mixes: (read fraction, update fraction, insert fraction,
+#: read-modify-write fraction, scan fraction).
+YCSB_MIXES: dict[str, dict[str, float]] = {
+    "A": {"read": 0.50, "update": 0.50},
+    "B": {"read": 0.95, "update": 0.05},
+    "C": {"read": 1.00},
+    "D": {"read": 0.95, "insert": 0.05},
+    "E": {"scan": 0.95, "insert": 0.05},
+    "F": {"read": 0.50, "rmw": 0.50},
+}
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """Parameters of a YCSB trace."""
+
+    mix: str = "B"
+    num_pages: int = 100_000
+    num_ops: int = 100_000
+    theta: float = 0.99
+    records_per_page: int = 16
+    scan_length_pages: int = 16
+    think_ns: float = 200.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.mix not in YCSB_MIXES:
+            raise ConfigError(
+                f"unknown YCSB mix {self.mix!r}; choose from"
+                f" {sorted(YCSB_MIXES)}"
+            )
+        if self.num_pages <= 0 or self.num_ops < 0:
+            raise ConfigError("num_pages/num_ops must be positive")
+
+
+def ycsb_trace(config: YCSBConfig) -> Iterator[Access]:
+    """Generate the access trace for one YCSB run.
+
+    Read/update/rmw touch one cache line of one page; inserts append
+    at the tail pages; scans sweep consecutive pages with full-page
+    touches flagged ``is_scan``.
+    """
+    import random
+
+    mix = YCSB_MIXES[config.mix]
+    ops = list(mix.items())
+    op_names = [name for name, _w in ops]
+    op_weights = [w for _n, w in ops]
+    zipf = ZipfGenerator(config.num_pages, theta=config.theta,
+                         scramble=True, seed=config.seed)
+    rng = random.Random(config.seed ^ 0x9e3779b9)
+    insert_cursor = config.num_pages
+    page_ids = zipf.sample(config.num_ops)
+
+    for i in range(config.num_ops):
+        op = rng.choices(op_names, weights=op_weights, k=1)[0]
+        page_id = int(page_ids[i])
+        if op == "read":
+            yield Access(page_id, think_ns=config.think_ns)
+        elif op == "update":
+            yield Access(page_id, write=True, think_ns=config.think_ns)
+        elif op == "rmw":
+            yield Access(page_id, think_ns=config.think_ns)
+            yield Access(page_id, write=True, think_ns=0.0)
+        elif op == "insert":
+            yield Access(insert_cursor, write=True,
+                         think_ns=config.think_ns)
+            if rng.random() < 1.0 / config.records_per_page:
+                insert_cursor += 1
+        elif op == "scan":
+            start = page_id
+            for offset in range(config.scan_length_pages):
+                yield Access(start + offset, is_scan=True,
+                             nbytes=4096,
+                             think_ns=config.think_ns / 4)
+        else:  # pragma: no cover - mixes are validated above
+            raise ConfigError(f"unhandled op {op}")
+
+
+def working_set_pages(config: YCSBConfig, mass: float = 0.9) -> int:
+    """Pages needed to absorb *mass* of the traffic (skew insight)."""
+    zipf = ZipfGenerator(config.num_pages, theta=config.theta)
+    lo, hi = 1, config.num_pages
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if zipf.hot_set_mass(mid / config.num_pages) >= mass:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

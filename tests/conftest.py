@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+# Deterministic property tests: same examples on every run.
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")
+
+from repro import config
+from repro.core.buffer import Tier, TieredBufferPool
+from repro.core.placement import DbCostPolicy
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.storage.disk import StorageDevice
+from repro.storage.file import PageFile
+
+
+@pytest.fixture
+def dram_device() -> MemoryDevice:
+    """A local DDR5 device."""
+    return MemoryDevice(config.local_ddr5())
+
+
+@pytest.fixture
+def cxl_device() -> MemoryDevice:
+    """A direct-attached CXL expander."""
+    return MemoryDevice(config.cxl_expander_ddr5())
+
+
+@pytest.fixture
+def dram_path(dram_device: MemoryDevice) -> AccessPath:
+    """Zero-hop path to local DRAM."""
+    return AccessPath(device=dram_device)
+
+
+@pytest.fixture
+def cxl_path(cxl_device: MemoryDevice) -> AccessPath:
+    """One-port path to a CXL expander."""
+    return AccessPath(device=cxl_device, links=(Link(config.cxl_port()),))
+
+
+@pytest.fixture
+def pagefile() -> PageFile:
+    """An NVMe-backed page file with 256 pre-allocated pages."""
+    pf = PageFile(StorageDevice())
+    pf.allocate_pages(256)
+    return pf
+
+
+@pytest.fixture
+def small_pool(dram_path: AccessPath, cxl_path: AccessPath,
+               pagefile: PageFile) -> TieredBufferPool:
+    """A two-tier pool: 8 DRAM frames over 32 CXL frames, NVMe-backed."""
+    tiers = [
+        Tier(name="dram", path=dram_path, capacity_pages=8),
+        Tier(name="cxl", path=cxl_path, capacity_pages=32),
+    ]
+    return TieredBufferPool(tiers=tiers, backing=pagefile,
+                            placement=DbCostPolicy(rebalance_interval=50))

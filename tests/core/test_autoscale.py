@@ -1,0 +1,134 @@
+"""Engine autoscaling over pooled memory (Sec 3.2 questions)."""
+
+import pytest
+
+from repro.core.autoscale import Autoscaler, QueryJob, bursty_jobs
+from repro.errors import ConfigError
+from repro.units import ms, us
+
+
+def steady_jobs(count=100, gap_ns=ms(1.0), service_ns=ms(0.4)):
+    return [QueryJob(arrival_ns=i * gap_ns, service_ns=service_ns)
+            for i in range(count)]
+
+
+class TestConfiguration:
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigError):
+            Autoscaler(mode="lukewarm")
+
+    def test_invalid_worker_bounds(self):
+        with pytest.raises(ConfigError):
+            Autoscaler(min_workers=0)
+        with pytest.raises(ConfigError):
+            Autoscaler(min_workers=8, max_workers=2)
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            Autoscaler().run([])
+
+
+class TestFixedFleet:
+    def test_underloaded_fleet_never_waits(self):
+        report = Autoscaler(mode="fixed", max_workers=8).run(
+            steady_jobs())
+        assert report.p95_wait_ns == 0.0
+        assert report.spawns == 0
+        assert report.peak_workers == 8
+
+    def test_overloaded_fleet_queues(self):
+        jobs = [QueryJob(arrival_ns=0.0, service_ns=ms(1.0))
+                for _ in range(20)]
+        report = Autoscaler(mode="fixed", max_workers=2).run(jobs)
+        assert report.mean_wait_ns > 0
+        assert report.jobs == 20
+
+
+class TestElasticity:
+    def test_warm_scaler_spawns_under_burst(self):
+        report = Autoscaler(mode="warm", min_workers=1,
+                            max_workers=16).run(bursty_jobs())
+        assert report.spawns > 0
+        assert report.peak_workers > 1
+
+    def test_warm_scaler_retires_after_burst(self):
+        report = Autoscaler(mode="warm", min_workers=1,
+                            max_workers=16,
+                            idle_retire_ns=ms(5.0)).run(bursty_jobs())
+        assert report.retires > 0
+
+    def test_warm_cheaper_than_fixed(self):
+        jobs = bursty_jobs()
+        fixed = Autoscaler(mode="fixed", max_workers=16).run(list(jobs))
+        warm = Autoscaler(mode="warm", min_workers=2,
+                          max_workers=16).run(list(jobs))
+        assert warm.engine_seconds < fixed.engine_seconds
+
+    def test_warm_beats_cold_on_latency(self):
+        jobs = bursty_jobs()
+        warm = Autoscaler(mode="warm", min_workers=2,
+                          max_workers=16).run(list(jobs))
+        cold = Autoscaler(mode="cold", min_workers=2,
+                          max_workers=16).run(list(jobs))
+        assert warm.p95_wait_ns < cold.p95_wait_ns
+        assert warm.mean_wait_ns < cold.mean_wait_ns
+
+    def test_cold_ramp_slows_first_jobs(self):
+        scaler = Autoscaler(mode="cold", cold_ramp_jobs=10,
+                            cold_penalty=4.0)
+        worker = scaler._spawn(0.0)
+        job = QueryJob(arrival_ns=0.0, service_ns=1_000.0)
+        first = scaler._service_time(worker, job)
+        worker.served = 5
+        mid = scaler._service_time(worker, job)
+        worker.served = 10
+        done = scaler._service_time(worker, job)
+        assert first == pytest.approx(4_000.0)
+        assert first > mid > done
+        assert done == pytest.approx(1_000.0)
+
+    def test_warm_spawn_is_fast(self):
+        scaler = Autoscaler(mode="warm", warm_spawn_ns=us(200))
+        worker = scaler._spawn(1_000.0)
+        assert worker.available_at_ns == pytest.approx(1_000.0 + us(200))
+        assert worker.warm
+
+    def test_max_workers_respected(self):
+        report = Autoscaler(mode="warm", min_workers=1,
+                            max_workers=3).run(bursty_jobs())
+        assert report.peak_workers <= 3
+
+
+class TestReports:
+    def test_wait_percentiles(self):
+        jobs = [QueryJob(arrival_ns=0.0, service_ns=ms(1.0))
+                for _ in range(10)]
+        report = Autoscaler(mode="fixed", max_workers=1).run(jobs)
+        assert report.p95_wait_ns >= report.mean_wait_ns
+        assert len(report.waits_ns) == 10
+
+    def test_engine_seconds_positive(self):
+        report = Autoscaler(mode="fixed", max_workers=2).run(
+            steady_jobs(count=10))
+        assert report.engine_seconds > 0
+
+
+class TestBurstyJobs:
+    def test_burst_density(self):
+        jobs = bursty_jobs(duration_ms=100.0, burst_start_frac=0.4,
+                           burst_end_frac=0.6)
+        horizon = ms(100.0)
+        in_burst = sum(1 for j in jobs
+                       if 0.4 * horizon <= j.arrival_ns < 0.6 * horizon)
+        outside = len(jobs) - in_burst
+        # The 20% burst window should hold a disproportionate share.
+        assert in_burst > outside / 2
+
+    def test_deterministic(self):
+        a = bursty_jobs(seed=4)
+        b = bursty_jobs(seed=4)
+        assert [j.arrival_ns for j in a] == [j.arrival_ns for j in b]
+
+    def test_sorted_arrivals(self):
+        arrivals = [j.arrival_ns for j in bursty_jobs()]
+        assert arrivals == sorted(arrivals)

@@ -1,0 +1,161 @@
+"""Contended multi-threaded execution (access_at / run_concurrent)."""
+
+import random
+
+import pytest
+
+from repro import config
+from repro.core import ScaleUpEngine, StaticPolicy
+from repro.core.buffer import Tier, TieredBufferPool
+from repro.errors import ConfigError
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.workloads import Access
+
+
+def cxl_engine(pages=2_000):
+    engine = ScaleUpEngine.build(
+        dram_pages=1, cxl_pages=pages,
+        placement=StaticPolicy(lambda _p: 1), with_storage=False,
+    )
+    for page in range(pages - 8):
+        engine.pool.access(page)  # warm
+    return engine
+
+
+def point_trace(seed, ops=500, pages=1_000, think_ns=100.0):
+    rng = random.Random(seed)
+    return [Access(page_id=rng.randrange(pages), think_ns=think_ns)
+            for _ in range(ops)]
+
+
+def readahead_scan(first_page, num_pages, repeats=1,
+                   chunk_pages=16):
+    """A scanning thread with readahead: one 64 KiB request per 16
+    pages, the way real sequential readers drive a device."""
+    out = []
+    for _ in range(repeats):
+        for start in range(0, num_pages, chunk_pages):
+            out.append(Access(
+                page_id=first_page + start, is_scan=True,
+                nbytes=chunk_pages * 4096, think_ns=0.0,
+            ))
+    return out
+
+
+class TestAccessAt:
+    def test_completion_after_issue(self):
+        engine = cxl_engine()
+        done = engine.pool.access_at(0, now_ns=1_000.0)
+        assert done > 1_000.0
+
+    def test_back_to_back_transfers_queue(self):
+        engine = cxl_engine()
+        big = 1024 * 1024
+        first = engine.pool.access_at(0, 0.0, nbytes=big)
+        second = engine.pool.access_at(1, 0.0, nbytes=big)
+        assert second > first
+
+    def test_fault_path_counts_miss(self):
+        engine = ScaleUpEngine.build(dram_pages=8, with_storage=False)
+        before = engine.pool.stats.misses
+        engine.pool.access_at(0, 0.0)
+        assert engine.pool.stats.misses == before + 1
+        # Second access hits.
+        engine.pool.access_at(0, 0.0)
+        assert engine.pool.stats.misses == before + 1
+
+    def test_idle_device_no_queueing(self):
+        engine = cxl_engine()
+        engine.pool.access_at(0, 0.0)
+        late = engine.pool.access_at(1, 1e9)
+        assert late - 1e9 < 1_000.0  # no residual queueing
+
+
+class TestRunConcurrent:
+    def test_empty_rejected(self):
+        engine = cxl_engine()
+        with pytest.raises(ConfigError):
+            engine.run_concurrent([])
+
+    def test_all_ops_executed(self):
+        engine = cxl_engine()
+        traces = [point_trace(s, ops=200) for s in range(3)]
+        report = engine.run_concurrent(traces)
+        assert report.ops == 600
+        assert report.threads == 3
+        assert all(count == 200
+                   for count in report.per_thread_ops.values())
+
+    def test_think_time_overlaps_across_threads(self):
+        """With long think times, N threads finish in ~the same
+        wall-clock as one thread (compute overlaps)."""
+        engine = cxl_engine()
+        one = cxl_engine().run_concurrent(
+            [point_trace(0, ops=300, think_ns=5_000.0)])
+        four = engine.run_concurrent(
+            [point_trace(s, ops=300, think_ns=5_000.0)
+             for s in range(4)])
+        assert four.makespan_ns < 1.5 * one.makespan_ns
+        assert four.ops == 4 * one.ops
+
+    def test_scan_threads_inflate_point_latency(self):
+        """Bandwidth interference: OLAP scans on the same expander
+        raise point-lookup tail latency."""
+        quiet = cxl_engine(pages=8_000)
+        alone = quiet.run_concurrent(
+            [point_trace(s, pages=1_000) for s in range(2)])
+
+        noisy = cxl_engine(pages=8_000)
+        scans = [readahead_scan(1_000, 3_000, repeats=4)
+                 for _ in range(3)]
+        mixed = noisy.run_concurrent(
+            [point_trace(s, pages=1_000) for s in range(2)] + scans)
+        assert mixed.p95_for((0, 1)) > 1.3 * alone.p95_for((0, 1))
+
+    def test_separate_devices_remove_interference(self):
+        """Two expanders (OLTP on one, OLAP on the other) restore
+        point-lookup latency: bandwidth-level HTAP isolation."""
+        def build_two_expander_engine():
+            tiers = [
+                Tier("dram", AccessPath(
+                    device=MemoryDevice(config.local_ddr5())), 1),
+                Tier("cxl-oltp", AccessPath(
+                    device=MemoryDevice(config.cxl_expander_ddr5(),
+                                        name="oltp-exp"),
+                    links=(Link(config.cxl_port()),)), 2_000),
+                Tier("cxl-olap", AccessPath(
+                    device=MemoryDevice(config.cxl_expander_ddr5(),
+                                        name="olap-exp"),
+                    links=(Link(config.cxl_port()),)), 6_000),
+            ]
+            pool = TieredBufferPool(
+                tiers=tiers,
+                placement=StaticPolicy(
+                    lambda p: 1 if p < 1_000 else 2),
+            )
+            engine = ScaleUpEngine(pool)
+            for page in range(4_000):
+                pool.access(page)
+            return engine
+
+        shared = cxl_engine(pages=8_000)
+        scans = [readahead_scan(1_000, 3_000, repeats=4)
+                 for _ in range(3)]
+        mixed_shared = shared.run_concurrent(
+            [point_trace(s, pages=1_000) for s in range(2)]
+            + [list(s) for s in scans])
+
+        isolated = build_two_expander_engine()
+        mixed_isolated = isolated.run_concurrent(
+            [point_trace(s, pages=1_000) for s in range(2)]
+            + [list(s) for s in scans])
+        assert mixed_isolated.p95_for((0, 1)) < \
+            0.8 * mixed_shared.p95_for((0, 1))
+
+    def test_report_metrics(self):
+        engine = cxl_engine()
+        report = engine.run_concurrent([point_trace(0, ops=100)])
+        assert report.mean_latency_ns > 0
+        assert report.p95_latency_ns >= report.mean_latency_ns * 0.5
+        assert report.throughput_ops_per_s > 0

@@ -1,0 +1,58 @@
+"""End-to-end failover downtime (Sec 2.6 + Sec 3.2)."""
+
+import pytest
+
+from repro.core.failover import FailoverOrchestrator
+from repro.errors import ConfigError
+from repro.units import ms
+
+
+class TestOutcomes:
+    def test_pooled_downtime_dominated_by_replay(self):
+        pooled = FailoverOrchestrator().cxl_pooled()
+        assert pooled.log_replay_ns > pooled.detection_ns
+        assert pooled.log_replay_ns > pooled.state_recovery_ns
+
+    def test_classic_downtime_dominated_by_detection_and_restart(self):
+        classic = FailoverOrchestrator().classic()
+        assert classic.detection_ns > ms(100)
+        assert classic.state_recovery_ns > ms(10)
+
+    def test_total_is_sum(self):
+        outcome = FailoverOrchestrator().cxl_pooled()
+        assert outcome.total_downtime_ns == pytest.approx(
+            outcome.detection_ns + outcome.state_recovery_ns
+            + outcome.log_replay_ns
+        )
+
+    def test_pooled_beats_classic_by_10x(self):
+        pooled, classic, ratio = FailoverOrchestrator().compare()
+        assert ratio > 10
+        assert pooled.total_downtime_ns < classic.total_downtime_ns
+
+    def test_detection_and_state_gap_is_enormous(self):
+        pooled, classic, _ = FailoverOrchestrator().compare()
+        assert (classic.detection_ns + classic.state_recovery_ns) > \
+            1_000 * (pooled.detection_ns + pooled.state_recovery_ns)
+
+    def test_bigger_working_set_hurts_classic_only(self):
+        small = FailoverOrchestrator(working_set_pages=100_000)
+        large = FailoverOrchestrator(working_set_pages=1_000_000)
+        assert (large.classic().state_recovery_ns
+                > small.classic().state_recovery_ns)
+        assert large.cxl_pooled().state_recovery_ns == \
+            small.cxl_pooled().state_recovery_ns
+
+    def test_log_tail_scales_replay_for_both(self):
+        short = FailoverOrchestrator(log_tail_bytes=1024 * 1024)
+        long = FailoverOrchestrator(log_tail_bytes=256 * 1024 * 1024)
+        assert long.cxl_pooled().log_replay_ns > \
+            short.cxl_pooled().log_replay_ns
+        assert long.classic().log_replay_ns > \
+            short.classic().log_replay_ns
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            FailoverOrchestrator(working_set_pages=0)
+        with pytest.raises(ConfigError):
+            FailoverOrchestrator(log_tail_bytes=0)

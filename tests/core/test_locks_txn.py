@@ -1,0 +1,188 @@
+"""Lock table semantics and the 2PL executor."""
+
+import pytest
+
+from repro.core.locks import LockMode, LockTable
+from repro.core.txn import (
+    OLTPReport,
+    TimedLockTable,
+    TwoPhaseLockingExecutor,
+)
+from repro.errors import ConfigError, TransactionError
+from repro.workloads.tpcc import RecordOp, Transaction
+
+
+class TestLockTable:
+    def test_shared_locks_compatible(self):
+        table = LockTable()
+        assert table.try_acquire(1, "k", LockMode.SHARED)
+        assert table.try_acquire(2, "k", LockMode.SHARED)
+        assert table.holders_of("k") == {1, 2}
+
+    def test_exclusive_blocks_everyone(self):
+        table = LockTable()
+        assert table.try_acquire(1, "k", LockMode.EXCLUSIVE)
+        assert not table.try_acquire(2, "k", LockMode.SHARED)
+        assert not table.try_acquire(2, "k", LockMode.EXCLUSIVE)
+        assert table.stats.conflicts == 2
+
+    def test_shared_blocks_exclusive(self):
+        table = LockTable()
+        table.try_acquire(1, "k", LockMode.SHARED)
+        assert not table.try_acquire(2, "k", LockMode.EXCLUSIVE)
+
+    def test_reacquire_is_free(self):
+        table = LockTable()
+        table.try_acquire(1, "k", LockMode.EXCLUSIVE)
+        assert table.try_acquire(1, "k", LockMode.EXCLUSIVE)
+        assert table.try_acquire(1, "k", LockMode.SHARED)
+
+    def test_upgrade_sole_holder(self):
+        table = LockTable()
+        table.try_acquire(1, "k", LockMode.SHARED)
+        assert table.try_acquire(1, "k", LockMode.EXCLUSIVE)
+        assert table.mode_of("k") is LockMode.EXCLUSIVE
+        assert table.stats.upgrades == 1
+
+    def test_upgrade_with_other_sharers_fails(self):
+        table = LockTable()
+        table.try_acquire(1, "k", LockMode.SHARED)
+        table.try_acquire(2, "k", LockMode.SHARED)
+        assert not table.try_acquire(1, "k", LockMode.EXCLUSIVE)
+
+    def test_release_all(self):
+        table = LockTable()
+        table.try_acquire(1, "a", LockMode.SHARED)
+        table.try_acquire(1, "b", LockMode.EXCLUSIVE)
+        assert table.release_all(1) == 2
+        assert table.active_locks == 0
+        assert table.try_acquire(2, "b", LockMode.EXCLUSIVE)
+
+    def test_release_keeps_other_holders(self):
+        table = LockTable()
+        table.try_acquire(1, "k", LockMode.SHARED)
+        table.try_acquire(2, "k", LockMode.SHARED)
+        table.release_all(1)
+        assert table.holders_of("k") == {2}
+
+    def test_held_count(self):
+        table = LockTable()
+        table.try_acquire(1, "a", LockMode.SHARED)
+        table.try_acquire(1, "b", LockMode.SHARED)
+        assert table.held_count(1) == 2
+        assert table.held_count(2) == 0
+
+    def test_consistency_check_passes(self):
+        table = LockTable()
+        table.try_acquire(1, "a", LockMode.SHARED)
+        table.try_acquire(2, "a", LockMode.SHARED)
+        table.try_acquire(3, "b", LockMode.EXCLUSIVE)
+        table.check_consistency()
+
+
+class TestTimedLockTable:
+    def test_no_conflict_starts_immediately(self):
+        table = TimedLockTable()
+        start = table.earliest_start([("k", LockMode.EXCLUSIVE)], 10.0)
+        assert start == 10.0
+
+    def test_exclusive_hold_delays(self):
+        table = TimedLockTable()
+        table.register([("k", LockMode.EXCLUSIVE)], expiry_ns=100.0)
+        start = table.earliest_start([("k", LockMode.SHARED)], 10.0)
+        assert start == 100.0
+        assert table.waits == 1
+        assert table.wait_time_ns == pytest.approx(90.0)
+
+    def test_shared_holds_compatible(self):
+        table = TimedLockTable()
+        table.register([("k", LockMode.SHARED)], expiry_ns=100.0)
+        start = table.earliest_start([("k", LockMode.SHARED)], 10.0)
+        assert start == 10.0
+
+    def test_shared_blocks_exclusive(self):
+        table = TimedLockTable()
+        table.register([("k", LockMode.SHARED)], expiry_ns=100.0)
+        start = table.earliest_start([("k", LockMode.EXCLUSIVE)], 10.0)
+        assert start == 100.0
+
+    def test_waits_for_latest_conflict(self):
+        table = TimedLockTable()
+        table.register([("a", LockMode.EXCLUSIVE)], expiry_ns=50.0)
+        table.register([("b", LockMode.EXCLUSIVE)], expiry_ns=200.0)
+        start = table.earliest_start(
+            [("a", LockMode.SHARED), ("b", LockMode.SHARED)], 0.0
+        )
+        assert start == 200.0
+
+    def test_prune_drops_expired(self):
+        table = TimedLockTable()
+        table.register([("k", LockMode.EXCLUSIVE)], expiry_ns=50.0)
+        table.prune(100.0)
+        start = table.earliest_start([("k", LockMode.EXCLUSIVE)], 60.0)
+        assert start == 60.0
+
+
+def _txn(txn_id, keys, write=True, home=0):
+    txn = Transaction(txn_id, "payment", home)
+    txn.ops = [RecordOp("t", home, k, write=write) for k in keys]
+    return txn
+
+
+def _flat_cost(txn):
+    return 1_000.0 * len(txn.ops), 0
+
+
+class TestTwoPhaseLockingExecutor:
+    def test_disjoint_txns_run_in_parallel(self):
+        executor = TwoPhaseLockingExecutor(_flat_cost, threads=4)
+        txns = [_txn(i, [i]) for i in range(4)]
+        report = executor.execute(txns)
+        assert report.makespan_ns == pytest.approx(1_000.0)
+        assert report.lock_wait_ns == 0.0
+
+    def test_conflicting_txns_serialize(self):
+        executor = TwoPhaseLockingExecutor(_flat_cost, threads=4)
+        txns = [_txn(i, [7]) for i in range(4)]  # same key, all writes
+        report = executor.execute(txns)
+        assert report.makespan_ns == pytest.approx(4_000.0)
+        assert report.lock_wait_ns > 0
+
+    def test_readers_do_not_serialize(self):
+        executor = TwoPhaseLockingExecutor(_flat_cost, threads=4)
+        txns = [_txn(i, [7], write=False) for i in range(4)]
+        report = executor.execute(txns)
+        assert report.makespan_ns == pytest.approx(1_000.0)
+
+    def test_throughput_math(self):
+        report = OLTPReport(name="x", transactions=1_000,
+                            makespan_ns=1e9)
+        assert report.throughput_tps == pytest.approx(1_000.0)
+
+    def test_more_threads_more_throughput(self):
+        txns = [_txn(i, [i % 64]) for i in range(512)]
+        slow = TwoPhaseLockingExecutor(_flat_cost, threads=2).execute(txns)
+        fast = TwoPhaseLockingExecutor(_flat_cost, threads=16).execute(
+            [_txn(i, [i % 64]) for i in range(512)]
+        )
+        assert fast.throughput_tps > slow.throughput_tps
+
+    def test_empty_batch_rejected(self):
+        executor = TwoPhaseLockingExecutor(_flat_cost)
+        with pytest.raises(TransactionError):
+            executor.execute([])
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            TwoPhaseLockingExecutor(_flat_cost, threads=0)
+
+    def test_remote_txns_counted(self):
+        def cost(txn):
+            return 1_000.0, 3 if txn.remote else 0
+
+        executor = TwoPhaseLockingExecutor(cost, threads=2)
+        txns = [_txn(i, [i]) for i in range(4)]
+        txns[0].remote = True
+        report = executor.execute(txns)
+        assert report.distributed_txns == 1
+        assert report.remote_ops == 3

@@ -1,0 +1,139 @@
+"""Rack-level morsel scheduling (Sec 3.3 scheduling question)."""
+
+import pytest
+
+from repro.core.morsel import Morsel, RackScheduler, skewed_queries
+from repro.errors import ConfigError
+
+
+def uniform_queries(num_queries=2, morsels=100, service=10_000.0):
+    return [
+        [Morsel(query_id=q, service_ns=service) for _ in range(morsels)]
+        for q in range(num_queries)
+    ]
+
+
+class TestConfiguration:
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            RackScheduler(hosts=0)
+        with pytest.raises(ConfigError):
+            RackScheduler(threads_per_host=0)
+        with pytest.raises(ConfigError):
+            RackScheduler(dequeue_cost_ns=-1.0)
+
+    def test_empty_queries_rejected(self):
+        scheduler = RackScheduler()
+        with pytest.raises(ConfigError):
+            scheduler.run_static([])
+        with pytest.raises(ConfigError):
+            scheduler.run_shared_queue([[]])
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            RackScheduler().run_shared_queue(uniform_queries(),
+                                             policy="magic")
+
+
+class TestWorkConservation:
+    def test_all_morsels_complete(self):
+        scheduler = RackScheduler(hosts=2, threads_per_host=4)
+        queries = uniform_queries()
+        static = scheduler.run_static(queries)
+        shared = scheduler.run_shared_queue(queries)
+        assert set(static.query_completion_ns) == {0, 1}
+        assert set(shared.query_completion_ns) == {0, 1}
+
+    def test_total_work_bounds_makespan(self):
+        scheduler = RackScheduler(hosts=2, threads_per_host=2,
+                                  dequeue_cost_ns=0.0)
+        queries = uniform_queries(num_queries=1, morsels=64)
+        outcome = scheduler.run_shared_queue(queries)
+        total_work = 64 * 10_000.0
+        assert outcome.makespan_ns >= total_work / 4
+        assert outcome.makespan_ns <= total_work
+
+    def test_uniform_load_balances_perfectly(self):
+        scheduler = RackScheduler(hosts=2, threads_per_host=2,
+                                  dequeue_cost_ns=0.0)
+        outcome = scheduler.run_shared_queue(
+            uniform_queries(num_queries=1, morsels=64))
+        assert outcome.idle_ns == pytest.approx(0.0)
+
+
+class TestStealingVsStatic:
+    def test_stealing_wins_under_skew(self):
+        """The Sec 3.3 answer: a shared coherent queue absorbs skew
+        that static partitioning cannot."""
+        scheduler = RackScheduler(hosts=4, threads_per_host=8)
+        queries = skewed_queries()
+        static = scheduler.run_static(queries)
+        shared = scheduler.run_shared_queue(queries)
+        assert shared.makespan_ns < static.makespan_ns
+        assert shared.idle_ns < static.idle_ns
+
+    def test_queue_overhead_accounted(self):
+        scheduler = RackScheduler(dequeue_cost_ns=330.0)
+        queries = uniform_queries(num_queries=1, morsels=50)
+        outcome = scheduler.run_shared_queue(queries)
+        assert outcome.queue_overhead_ns == pytest.approx(50 * 330.0)
+
+    def test_free_queue_beats_costly_queue(self):
+        queries = skewed_queries(num_queries=1)
+        free = RackScheduler(dequeue_cost_ns=0.0).run_shared_queue(
+            [list(q) for q in queries])
+        costly = RackScheduler(dequeue_cost_ns=5_000.0).run_shared_queue(
+            [list(q) for q in queries])
+        assert free.makespan_ns < costly.makespan_ns
+
+
+class TestMultiQueryPolicies:
+    def test_fair_improves_mean_completion(self):
+        """Round-robin lets every query finish near the same time it
+        would alone; FIFO makes later queries wait for earlier ones."""
+        scheduler = RackScheduler(hosts=2, threads_per_host=4)
+        queries = skewed_queries(num_queries=4)
+        fifo = scheduler.run_shared_queue(
+            [list(q) for q in queries], policy="fifo")
+        fair = scheduler.run_shared_queue(
+            [list(q) for q in queries], policy="fair")
+        # FIFO: the first query finishes earliest of all.
+        assert fifo.query_completion_ns[0] < \
+            fifo.query_completion_ns[3]
+        # Fair: completions cluster; the spread shrinks a lot.
+        fifo_spread = (max(fifo.query_completion_ns.values())
+                       - min(fifo.query_completion_ns.values()))
+        fair_spread = (max(fair.query_completion_ns.values())
+                       - min(fair.query_completion_ns.values()))
+        assert fair_spread < fifo_spread / 2
+
+    def test_policies_share_makespan(self):
+        scheduler = RackScheduler(hosts=2, threads_per_host=4)
+        queries = skewed_queries(num_queries=3)
+        fifo = scheduler.run_shared_queue(
+            [list(q) for q in queries], policy="fifo")
+        fair = scheduler.run_shared_queue(
+            [list(q) for q in queries], policy="fair")
+        assert fair.makespan_ns == pytest.approx(fifo.makespan_ns,
+                                                 rel=0.05)
+
+
+class TestSkewedQueries:
+    def test_shape(self):
+        queries = skewed_queries(num_queries=3, morsels_per_query=50)
+        assert len(queries) == 3
+        assert all(len(q) == 50 for q in queries)
+
+    def test_heavy_tail_exists(self):
+        queries = skewed_queries(morsels_per_query=1_000)
+        services = [m.service_ns for m in queries[0]]
+        assert max(services) > 4 * (sum(services) / len(services))
+
+    def test_deterministic(self):
+        a = skewed_queries(seed=1)
+        b = skewed_queries(seed=1)
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            skewed_queries(num_queries=0)

@@ -1,0 +1,145 @@
+"""Near-data processing (Sec 4) and heterogeneous pooling (Sec 5)."""
+
+import pytest
+
+from repro import config
+from repro.core.hetero import (
+    ComposableRack,
+    FixedServerRack,
+    OperatorTask,
+    mixed_workload,
+)
+from repro.core.ndp import ActiveMemoryRegion, NDPController
+from repro.errors import ConfigError
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+
+
+@pytest.fixture
+def controller() -> NDPController:
+    device = MemoryDevice(config.cxl_expander_ddr5())
+    path = AccessPath(device=device, links=(Link(config.cxl_port()),))
+    return NDPController(path)
+
+
+class TestOperatorOffload:
+    def test_offload_wins_at_low_selectivity(self, controller):
+        host = controller.host_filter_time(10_000, selectivity=0.01)
+        ndp = controller.offload_filter_time(10_000, selectivity=0.01)
+        assert ndp.time_ns < host.time_ns
+
+    def test_offload_ships_fewer_bytes(self, controller):
+        host = controller.host_filter_time(1_000, selectivity=0.05)
+        ndp = controller.offload_filter_time(1_000, selectivity=0.05)
+        assert ndp.fabric_bytes < host.fabric_bytes / 10
+
+    def test_high_selectivity_narrows_the_win(self, controller):
+        low = (controller.host_filter_time(10_000, 0.01).time_ns
+               / controller.offload_filter_time(10_000, 0.01).time_ns)
+        high = (controller.host_filter_time(10_000, 1.0).time_ns
+                / controller.offload_filter_time(10_000, 1.0).time_ns)
+        assert low > high
+
+    def test_aggregate_ships_one_line(self, controller):
+        result = controller.offload_aggregate_time(10_000)
+        assert result.fabric_bytes == 64
+
+    def test_parallel_beats_either_side_alone(self, controller):
+        pages, sel = 20_000, 0.1
+        host_only = controller.host_filter_time(pages, sel).time_ns
+        ndp_only = controller.offload_filter_time(pages, sel).time_ns
+        best_fraction = controller.best_host_fraction(pages, sel)
+        both = controller.parallel_filter_time(
+            pages, sel, best_fraction).time_ns
+        assert both <= min(host_only, ndp_only)
+
+    def test_parallel_requires_valid_fraction(self, controller):
+        with pytest.raises(ConfigError):
+            controller.parallel_filter_time(100, 0.1, host_fraction=1.5)
+
+    def test_invalid_arguments(self, controller):
+        with pytest.raises(ConfigError):
+            controller.host_filter_time(0, 0.5)
+        with pytest.raises(ConfigError):
+            controller.offload_filter_time(10, 1.5)
+
+
+class TestActiveMemoryRegion:
+    def _region(self, **kwargs):
+        device = MemoryDevice(config.cxl_expander_ddr5())
+        path = AccessPath(device=device, links=(Link(config.cxl_port()),))
+        return ActiveMemoryRegion(path, view_bytes=64 * 1024 * 1024,
+                                  **kwargs)
+
+    def test_streaming_beats_materialization(self):
+        region = self._region()
+        assert (region.streaming_read_time()
+                < region.materialized_read_time())
+
+    def test_partial_read_of_materialized_view_still_pays_production(self):
+        region = self._region()
+        partial_stream = region.streaming_read_time(1024)
+        partial_mat = region.materialized_read_time(1024)
+        # Materialization produces the WHOLE view before serving 1 KiB.
+        assert partial_mat > 100 * partial_stream
+
+    def test_expansion_slows_production(self):
+        cheap = self._region(expansion=1.0)
+        costly = self._region(expansion=8.0)
+        assert (costly.streaming_read_time()
+                > cheap.streaming_read_time())
+
+    def test_invalid_sizes(self):
+        region = self._region()
+        with pytest.raises(ConfigError):
+            region.streaming_read_time(0)
+        with pytest.raises(ConfigError):
+            region.streaming_read_time(region.view_bytes + 1)
+
+
+class TestHeterogeneousRacks:
+    def test_composable_beats_fixed_on_mixed_load(self):
+        tasks = mixed_workload(num_tasks=200)
+        pooled = ComposableRack().schedule(tasks)
+        fixed = FixedServerRack().schedule(mixed_workload(num_tasks=200))
+        assert pooled.mean_completion_ns < fixed.mean_completion_ns
+
+    def test_ml_tasks_land_on_gpus(self):
+        rack = ComposableRack(gpus=2, fpgas=2, dpus=0, cpus=2)
+        tasks = [OperatorTask("ml_infer", 64 * 1024 * 1024)
+                 for _ in range(8)]
+        rack.schedule(tasks)
+        gpu_runs = sum(d.tasks_run for d in rack.devices
+                       if d.klass.value == "gpu")
+        assert gpu_runs == 8
+
+    def test_queueing_spills_to_second_best(self):
+        rack = ComposableRack(gpus=1, fpgas=1, dpus=0, cpus=1)
+        tasks = [OperatorTask("ml_infer", 256 * 1024 * 1024)
+                 for _ in range(12)]
+        rack.schedule(tasks)
+        non_gpu_runs = sum(d.tasks_run for d in rack.devices
+                           if d.klass.value != "gpu")
+        assert non_gpu_runs > 0
+
+    def test_unschedulable_tasks_counted(self):
+        rack = ComposableRack(gpus=1, fpgas=0, dpus=0, cpus=0)
+        report = rack.schedule([OperatorTask("compress", 1024)])
+        assert report.unschedulable == 1
+
+    def test_fixed_rack_local_only(self):
+        rack = FixedServerRack(num_servers=2, gpus_every=0,
+                               fpgas_every=0)
+        report = rack.schedule([OperatorTask("ml_infer", 1024 * 1024)])
+        # Only CPUs available locally: runs, but slowly.
+        assert report.tasks == 1
+
+    def test_utilization_accounting(self):
+        rack = ComposableRack(gpus=1, fpgas=0, dpus=0, cpus=0)
+        report = rack.schedule([OperatorTask("ml_infer", 1024 * 1024)])
+        device = rack.devices[0]
+        assert device.utilization(report.makespan_ns) > 0
+
+    def test_empty_rack_rejected(self):
+        with pytest.raises(ConfigError):
+            ComposableRack(gpus=0, fpgas=0, dpus=0, cpus=0)

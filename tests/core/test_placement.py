@@ -1,0 +1,166 @@
+"""Placement policies: OS paging vs DB cost-based vs static HTAP."""
+
+import pytest
+
+from repro import config
+from repro.core.buffer import Tier, TieredBufferPool
+from repro.core.placement import DbCostPolicy, OSPagingPolicy, StaticPolicy
+from repro.errors import BufferPoolError
+from repro.sim.interconnect import AccessPath
+from repro.sim.memory import MemoryDevice
+
+
+def make_pool(placement, dram=8, cxl=32):
+    tiers = [
+        Tier(name="dram",
+             path=AccessPath(device=MemoryDevice(config.local_ddr5())),
+             capacity_pages=dram),
+        Tier(name="cxl",
+             path=AccessPath(device=MemoryDevice(config.cxl_expander_ddr5())),
+             capacity_pages=cxl),
+    ]
+    return TieredBufferPool(tiers=tiers, placement=placement)
+
+
+class TestStaticPolicy:
+    def test_classifier_places(self):
+        pool = make_pool(StaticPolicy(lambda p: 0 if p < 100 else 1))
+        pool.access(5)
+        pool.access(200)
+        assert pool.tier_of(5) == 0
+        assert pool.tier_of(200) == 1
+
+    def test_no_migration_ever(self):
+        pool = make_pool(StaticPolicy(lambda p: 1))
+        for _ in range(100):
+            pool.access(1)  # heavily accessed but pinned to tier 1
+        assert pool.tier_of(1) == 1
+        assert pool.stats.migrations == 0
+
+    def test_isolation_under_pressure(self):
+        """OLAP pages (tier 1) must never push OLTP pages out of
+        tier 0 — the Sec 3.1 HTAP property."""
+        pool = make_pool(StaticPolicy(lambda p: 0 if p < 4 else 1),
+                         dram=4, cxl=8)
+        for page in range(4):
+            pool.access(page)
+        for page in range(100, 200):  # OLAP flood
+            pool.access(page)
+        for page in range(4):
+            assert pool.tier_of(page) == 0
+
+    def test_classifier_clamped(self):
+        pool = make_pool(StaticPolicy(lambda _p: 99))
+        pool.access(1)
+        assert pool.tier_of(1) == 1  # clamped to last tier
+
+    def test_unattached_policy_raises(self):
+        policy = StaticPolicy(lambda _p: 0)
+        with pytest.raises(BufferPoolError):
+            policy.choose_admit_tier(1)
+
+
+class TestOSPagingPolicy:
+    def test_admits_to_fast_tier_first(self):
+        pool = make_pool(OSPagingPolicy(), dram=4)
+        pool.access(1)
+        assert pool.tier_of(1) == 0
+
+    def test_overflow_admits_to_slow_tier(self):
+        pool = make_pool(OSPagingPolicy(check_interval=10**9), dram=2)
+        for page in range(4):
+            pool.access(page)
+        assert pool.tier_of(3) == 1
+
+    def test_demote_pass_keeps_headroom(self):
+        policy = OSPagingPolicy(check_interval=50, sample_rate=1.0,
+                                high_watermark=0.9, low_watermark=0.5)
+        pool = make_pool(policy, dram=10, cxl=40)
+        for page in range(10):
+            pool.access(page)
+        # Fill tier 0 and keep accessing to trigger the check pass.
+        for _ in range(10):
+            for page in range(10):
+                pool.access(page)
+        assert pool.tier_residents(0) <= 9
+
+    def test_promote_pass_pulls_hot_pages_up(self):
+        policy = OSPagingPolicy(check_interval=100, sample_rate=1.0,
+                                promote_min_heat=2.0)
+        pool = make_pool(policy, dram=8, cxl=32)
+        # Overflow tier 0, then hammer a page stuck in tier 1.
+        for page in range(10):
+            pool.access(page)
+        hot = next(iter(pool.resident_in(1)))
+        for _ in range(300):
+            pool.access(hot)
+        assert pool.tier_of(hot) == 0
+
+    def test_invalid_watermarks(self):
+        with pytest.raises(BufferPoolError):
+            OSPagingPolicy(high_watermark=0.5, low_watermark=0.9)
+
+
+class TestDbCostPolicy:
+    def test_scans_admitted_to_slow_tier(self):
+        pool = make_pool(DbCostPolicy())
+        pool.access(1, is_scan=True)
+        assert pool.tier_of(1) == 1
+
+    def test_point_accesses_admitted_fast(self):
+        pool = make_pool(DbCostPolicy())
+        pool.access(1)
+        assert pool.tier_of(1) == 0
+
+    def test_rebalance_promotes_hot_slow_pages(self):
+        policy = DbCostPolicy(rebalance_interval=10**9)
+        pool = make_pool(policy, dram=4, cxl=16)
+        # Fill DRAM with soon-cold pages.
+        for page in range(4):
+            pool.access(page)
+        # Hot page lands in CXL (scan admit), then gets hot.
+        pool.access(100, is_scan=True)
+        for _ in range(50):
+            pool.access(100)
+        moves = policy.rebalance()
+        assert moves > 0
+        assert pool.tier_of(100) == 0
+
+    def test_rebalance_respects_pins(self):
+        policy = DbCostPolicy(rebalance_interval=10**9)
+        pool = make_pool(policy, dram=1, cxl=8)
+        pool.access(1)
+        pool.pin(1)
+        pool.access(2, is_scan=True)
+        for _ in range(50):
+            pool.access(2)
+        policy.rebalance()
+        assert pool.tier_of(1) == 0  # pinned page stayed
+        pool.unpin(1)
+
+    def test_single_tier_rebalance_is_noop(self):
+        tiers = [Tier(
+            name="dram",
+            path=AccessPath(device=MemoryDevice(config.local_ddr5())),
+            capacity_pages=8,
+        )]
+        policy = DbCostPolicy()
+        pool = TieredBufferPool(tiers=tiers, placement=policy)
+        pool.access(1)
+        assert policy.rebalance() == 0
+
+    def test_beats_os_policy_on_skewed_reads(self):
+        """The headline Sec 3.1 claim, in miniature."""
+        from repro.workloads import YCSBConfig, ycsb_trace
+        cfg = YCSBConfig(mix="C", num_pages=400, num_ops=6_000,
+                         theta=0.99, think_ns=0)
+
+        def run(policy):
+            pool = make_pool(policy, dram=40, cxl=400)
+            from repro.core.engine import ScaleUpEngine
+            engine = ScaleUpEngine(pool)
+            return engine.run(ycsb_trace(cfg))
+
+        db = run(DbCostPolicy(rebalance_interval=500))
+        os_ = run(OSPagingPolicy(check_interval=500))
+        assert db.tier_hit_rates[0] >= os_.tier_hit_rates[0]

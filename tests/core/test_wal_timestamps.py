@@ -1,0 +1,163 @@
+"""WAL backends and timestamp oracles (OLTP mechanisms, Sec 4)."""
+
+import pytest
+
+from repro.core.timestamps import (
+    CXLSharedOracle,
+    LocalAtomicOracle,
+    RPCOracle,
+    compare_oracles,
+)
+from repro.core.wal import (
+    BatteryDRAMLogBackend,
+    CXLNVMLogBackend,
+    NVMeLogBackend,
+    RDMAReplicatedLogBackend,
+    WriteAheadLog,
+)
+from repro.errors import ConfigError
+from repro.storage.disk import StorageDevice
+from repro.units import us
+
+
+def all_backends():
+    return [
+        NVMeLogBackend(StorageDevice()),
+        CXLNVMLogBackend.build(),
+        RDMAReplicatedLogBackend.build(),
+        BatteryDRAMLogBackend.build(),
+    ]
+
+
+class TestBackends:
+    def test_latency_ordering(self):
+        """battery DRAM < CXL NVM < RDMA-replicated < NVMe for a
+        typical 4 KiB force."""
+        times = {
+            backend.name: backend.force_time_ns(4_096)
+            for backend in all_backends()
+        }
+        assert times["battery-dram"] < times["cxl-nvm"]
+        assert times["cxl-nvm"] < times["rdma-replicated"]
+        assert times["rdma-replicated"] < times["nvme"]
+
+    def test_cxl_nvm_sub_microsecond_small_force(self):
+        backend = CXLNVMLogBackend.build()
+        assert backend.force_time_ns(256) < us(2.0)
+
+    def test_nvme_pays_full_write_io(self):
+        backend = NVMeLogBackend(StorageDevice())
+        assert backend.force_time_ns(64) >= us(20.0)
+
+    def test_replication_count_matters(self):
+        two = RDMAReplicatedLogBackend.build(replicas=2)
+        one = RDMAReplicatedLogBackend.build(replicas=1)
+        # Parallel writes: latency comparable, but both >= one replica.
+        assert two.force_time_ns(4_096) >= one.force_time_ns(4_096)
+
+
+class TestWriteAheadLog:
+    def test_group_commit_batches(self):
+        log = WriteAheadLog(BatteryDRAMLogBackend.build(), group_size=4)
+        results = [log.append(128, now_ns=float(i)) for i in range(4)]
+        assert results[:3] == [None, None, None]
+        assert results[3] is not None
+        assert log.forces == 1
+        assert log.commit_latency.count == 4
+
+    def test_first_record_waits_longest(self):
+        log = WriteAheadLog(BatteryDRAMLogBackend.build(), group_size=2)
+        log.append(128, now_ns=0.0)
+        done = log.append(128, now_ns=1_000.0)
+        assert done is not None
+        # First record's latency includes the wait for the batch.
+        assert log.commit_latency.max >= 1_000.0
+        assert log.commit_latency.max > log.commit_latency.min
+
+    def test_flush_partial_batch(self):
+        log = WriteAheadLog(BatteryDRAMLogBackend.build(), group_size=8)
+        log.append(128, now_ns=0.0)
+        assert log.pending == 1
+        done = log.flush(now_ns=10.0)
+        assert done is not None
+        assert log.pending == 0
+
+    def test_flush_empty_is_noop(self):
+        log = WriteAheadLog(BatteryDRAMLogBackend.build())
+        assert log.flush(0.0) is None
+
+    def test_device_serializes_forces(self):
+        log = WriteAheadLog(NVMeLogBackend(StorageDevice()),
+                            group_size=1)
+        first = log.append(4_096, now_ns=0.0)
+        second = log.append(4_096, now_ns=0.0)
+        assert second > first
+
+    def test_throughput_bound_ordering(self):
+        slow = WriteAheadLog(NVMeLogBackend(StorageDevice()),
+                             group_size=8)
+        fast = WriteAheadLog(CXLNVMLogBackend.build(), group_size=8)
+        assert fast.throughput_bound_tps(256) > \
+            10 * slow.throughput_bound_tps(256)
+
+    def test_bigger_groups_raise_throughput_on_nvme(self):
+        small = WriteAheadLog(NVMeLogBackend(StorageDevice()),
+                              group_size=1)
+        large = WriteAheadLog(NVMeLogBackend(StorageDevice()),
+                              group_size=64)
+        assert large.throughput_bound_tps(256) > \
+            10 * small.throughput_bound_tps(256)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            WriteAheadLog(BatteryDRAMLogBackend.build(), group_size=0)
+        log = WriteAheadLog(BatteryDRAMLogBackend.build())
+        with pytest.raises(ConfigError):
+            log.append(0, now_ns=0.0)
+
+
+class TestTimestampOracles:
+    def test_monotonic(self):
+        for oracle in (LocalAtomicOracle(), CXLSharedOracle(),
+                       RPCOracle()):
+            last = 0
+            for _ in range(10):
+                ts, _cost = oracle.next_timestamp()
+                assert ts > last
+                last = ts
+
+    def test_cost_ordering(self):
+        local = LocalAtomicOracle()
+        shared = CXLSharedOracle(contending_hosts=4)
+        rpc = RPCOracle()
+        costs = {
+            o.name: o.next_timestamp()[1] for o in (local, shared, rpc)
+        }
+        assert costs["local-atomic"] < costs["cxl-shared"]
+        assert costs["cxl-shared"] < costs["rpc"]
+
+    def test_contention_raises_shared_cost(self):
+        quiet = CXLSharedOracle(contending_hosts=1)
+        busy = CXLSharedOracle(contending_hosts=8)
+        assert busy.next_timestamp()[1] > quiet.next_timestamp()[1]
+
+    def test_rpc_batching_amortizes(self):
+        unbatched = RPCOracle(batch=1)
+        batched = RPCOracle(batch=100)
+        for _ in range(100):
+            unbatched.next_timestamp()
+            batched.next_timestamp()
+        assert batched.stats.mean_cost_ns < \
+            unbatched.stats.mean_cost_ns / 10
+
+    def test_compare_oracles_shape(self):
+        comparison = compare_oracles(hosts=4, draws=100)
+        by_name = {name: cost for name, cost, _tps in comparison.rows}
+        assert by_name["local-atomic"] < by_name["cxl-shared"]
+        assert by_name["cxl-shared"] < by_name["rpc"]
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            CXLSharedOracle(contending_hosts=0)
+        with pytest.raises(ConfigError):
+            RPCOracle(batch=0)

@@ -1,0 +1,95 @@
+"""The end-to-end latency ladder the whole reproduction rests on.
+
+One test walks every rung: local DRAM < remote NUMA < direct CXL <
+pooled CXL (switch) < GFAM (two switches) < RDMA < NVMe < HDD. If a
+future calibration change breaks the ordering, everything downstream
+(tiering wins, crossovers, NDP decisions) silently changes meaning —
+this test makes that loud.
+"""
+
+import pytest
+
+from repro import config
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.sim.numa import NUMASystem
+from repro.sim.rdma import RDMAFabric
+from repro.sim.topology import RackTopology
+from repro.storage.disk import StorageDevice
+from repro.units import CACHE_LINE, PAGE_SIZE
+
+
+def ladder() -> dict[str, float]:
+    """64 B access latency at every level of the hierarchy."""
+    system = NUMASystem()
+    s0 = system.add_socket(MemoryDevice(config.local_ddr5(),
+                                        name="s0"))
+    s1 = system.add_socket(MemoryDevice(config.local_ddr5(),
+                                        name="s1"))
+    cxl = system.add_cxl_expander(
+        MemoryDevice(config.cxl_expander_ddr5()), attached_to=s0)
+
+    pooled = RackTopology.pooled(num_hosts=2)
+    gfam = RackTopology.disaggregated(num_hosts=2)
+
+    fabric = RDMAFabric()
+    fabric.add_host("a")
+    fabric.add_host("b")
+
+    return {
+        "local DRAM": system.path(s0, s0).read_latency_ns(),
+        "remote NUMA": system.path(s0, s1).read_latency_ns(),
+        "direct CXL": system.path(s0, cxl).read_latency_ns(),
+        "pooled CXL": pooled.path(
+            "host0", "pool0").read_latency_ns(),
+        "GFAM": gfam.path("host0", "gfam0").read_latency_ns(),
+        "RDMA": fabric.one_sided_read_time("a", "b", CACHE_LINE),
+        "NVMe": StorageDevice(config.nvme_ssd()).read_time(PAGE_SIZE),
+        "HDD": StorageDevice(config.hdd()).read_time(PAGE_SIZE),
+    }
+
+
+RUNGS = ["local DRAM", "remote NUMA", "direct CXL", "pooled CXL",
+         "GFAM", "RDMA", "NVMe", "HDD"]
+
+
+class TestLadder:
+    def test_strictly_increasing(self):
+        values = ladder()
+        ordered = [values[name] for name in RUNGS]
+        assert ordered == sorted(ordered)
+        assert len(set(ordered)) == len(ordered)
+
+    def test_absolute_anchors(self):
+        values = ladder()
+        assert values["local DRAM"] == pytest.approx(80.0)
+        assert values["remote NUMA"] == pytest.approx(140.0)
+        assert values["direct CXL"] == pytest.approx(189.0)
+        assert 200.0 <= values["pooled CXL"] <= 400.0
+        assert 200.0 <= values["GFAM"] <= 400.0
+
+    def test_cxl_sits_in_the_memory_storage_gap(self):
+        """The paper's core premise: CXL fills the gap between memory
+        and everything network/storage shaped."""
+        values = ladder()
+        assert values["GFAM"] < values["RDMA"] / 2.5
+        assert values["RDMA"] < values["NVMe"]
+        assert values["NVMe"] < values["HDD"] / 100
+
+    def test_every_rung_within_order_of_magnitude_of_neighbor(self):
+        """Memory rungs are dense; the big cliffs are at RDMA and
+        storage — exactly where the paper places them."""
+        values = ladder()
+        memory_rungs = RUNGS[:5]
+        for a, b in zip(memory_rungs, memory_rungs[1:]):
+            assert values[b] / values[a] < 2.0
+
+    def test_paths_agree_with_direct_construction(self):
+        """Topology-derived paths equal hand-built equivalents."""
+        direct = AccessPath(
+            device=MemoryDevice(config.cxl_expander_ddr5()),
+            links=(Link(config.cxl_port()),),
+        )
+        rack = RackTopology.local_expansion()
+        assert rack.path("host0", "cxl0").read_latency_ns() == \
+            pytest.approx(direct.read_latency_ns())

@@ -1,0 +1,35 @@
+"""Every example script must run and tell its story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["NVMe paging", "CXL + DB placement"],
+    "htap_isolation.py": ["unified pool", "OLTP|OLAP split"],
+    "elastic_cloud.py": ["Warm spawn", "cheaper"],
+    "rack_scale_engine.py": ["scale-up", "scale-out", "winner"],
+    "ndp_views.py": ["selectivity", "Active memory region"],
+    "tiered_index.py": ["all-DRAM", "hybrid", "all-CXL"],
+    "durability_failover.py": ["cxl-nvm", "balance after recovery: 100"],
+    "composable_rack.py": ["fixed servers", "composable pool"],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in out, f"{script} output lacks {marker!r}"

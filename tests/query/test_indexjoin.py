@@ -1,0 +1,111 @@
+"""Index-nested-loop join over the tiered B+tree."""
+
+import pytest
+
+from repro import config
+from repro.core.btree import TieredBTree
+from repro.core.buffer import Tier, TieredBufferPool
+from repro.core.engine import ScaleUpEngine
+from repro.core.placement import StaticPolicy
+from repro.errors import QueryError
+from repro.query.hashjoin import HashJoin
+from repro.query.indexjoin import IndexNestedLoopJoin
+from repro.query.operators import TableScan, collect
+from repro.query.schema import Column, ColumnType, Schema
+from repro.query.table import Table
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.storage.disk import StorageDevice
+from repro.storage.file import PageFile
+
+INNER_SCHEMA = Schema([Column("id"), Column("payload", ColumnType.STR)])
+
+
+@pytest.fixture
+def setup():
+    pf = PageFile(StorageDevice())
+    outer_schema = Schema([Column("k"), Column("id")])
+    outer = Table("outer", outer_schema, pf)
+    outer.bulk_load((i, i % 500) for i in range(1_000))
+    tiers = [
+        Tier("dram", AccessPath(device=MemoryDevice(config.local_ddr5())),
+             4_096),
+        Tier("cxl", AccessPath(
+            device=MemoryDevice(config.cxl_expander_ddr5()),
+            links=(Link(config.cxl_port()),)), 4_096),
+    ]
+    pool = TieredBufferPool(tiers=tiers, backing=pf,
+                            placement=StaticPolicy(lambda _p: 0))
+    engine = ScaleUpEngine(pool)
+    items = [(i, (i, f"row{i}")) for i in range(500)]
+    index = TieredBTree.bulk_build(pool, items,
+                                   first_page_id=100_000)
+    return engine, outer, index
+
+
+class TestJoinSemantics:
+    def test_cardinality_and_contents(self, setup):
+        engine, outer, index = setup
+        join = IndexNestedLoopJoin(TableScan(outer), index, "id",
+                                   INNER_SCHEMA)
+        rows, _ = collect(join, engine)
+        assert len(rows) == 1_000
+        assert rows[0] == (0, 0, "row0")
+
+    def test_schema_merges(self, setup):
+        _engine, outer, index = setup
+        join = IndexNestedLoopJoin(TableScan(outer), index, "id",
+                                   INNER_SCHEMA)
+        assert join.schema.names == ["k", "id", "payload"]
+
+    def test_missing_keys_dropped(self, setup):
+        engine, outer, index = setup
+        pf = outer.pagefile
+        sparse = Table("sparse", Schema([Column("id")]), pf)
+        sparse.bulk_load([(0,), (499,), (9_999,)])
+        join = IndexNestedLoopJoin(TableScan(sparse), index, "id",
+                                   INNER_SCHEMA)
+        rows, _ = collect(join, engine)
+        assert len(rows) == 2
+
+    def test_matches_hash_join(self, setup):
+        engine, outer, index = setup
+        pf = outer.pagefile
+        inner = Table("inner", INNER_SCHEMA, pf)
+        inner.bulk_load((i, f"row{i}") for i in range(500))
+        inlj = IndexNestedLoopJoin(TableScan(outer), index, "id",
+                                   INNER_SCHEMA)
+        hj = HashJoin(TableScan(outer), TableScan(inner), "id", "id")
+        inlj_rows, _ = collect(inlj, engine)
+        hj_rows, _ = collect(hj, engine)
+        assert sorted(inlj_rows) == sorted(hj_rows)
+
+    def test_foreign_pool_rejected(self, setup):
+        engine, outer, index = setup
+        other = ScaleUpEngine.build(dram_pages=16, with_storage=False)
+        join = IndexNestedLoopJoin(TableScan(outer), index, "id",
+                                   INNER_SCHEMA)
+        with pytest.raises(QueryError):
+            list(join.rows(other))
+
+
+class TestCosts:
+    def test_probe_cost_scales_with_outer(self, setup):
+        _engine, outer, index = setup
+        inlj = IndexNestedLoopJoin(TableScan(outer), index, "id",
+                                   INNER_SCHEMA)
+        assert inlj.estimated_cost_ns(1_000) > \
+            inlj.estimated_cost_ns(100)
+
+    def test_index_placement_changes_join_cost(self, setup):
+        """Probing a CXL-resident index is slower than a DRAM one."""
+        engine, outer, index = setup
+        join = IndexNestedLoopJoin(TableScan(outer), index, "id",
+                                   INNER_SCHEMA)
+        _rows, t_dram = collect(join, engine)
+        # Push the whole index to the CXL tier.
+        for page_id in (index.inner_page_ids + index.leaf_page_ids):
+            if engine.pool.tier_of(page_id) == 0:
+                engine.pool.migrate(page_id, 1)
+        _rows, t_cxl = collect(join, engine)
+        assert t_cxl > t_dram

@@ -1,0 +1,97 @@
+"""Schemas and tables."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.schema import Column, ColumnType, Schema
+from repro.query.table import Table
+from repro.storage.disk import StorageDevice
+from repro.storage.file import PageFile
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema([
+        Column("id"), Column("value", ColumnType.FLOAT),
+        Column("label", ColumnType.STR),
+    ])
+
+
+class TestSchema:
+    def test_index_of(self, schema):
+        assert schema.index_of("id") == 0
+        assert schema.index_of("label") == 2
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(QueryError):
+            schema.index_of("ghost")
+
+    def test_has(self, schema):
+        assert schema.has("value")
+        assert not schema.has("ghost")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(QueryError):
+            Schema([Column("a"), Column("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Schema([])
+
+    def test_record_width(self, schema):
+        assert schema.record_width_bytes == 8 + 8 + 24
+
+    def test_project(self, schema):
+        projected = schema.project(["label", "id"])
+        assert projected.names == ["label", "id"]
+        assert len(schema) == 3  # original untouched
+
+    def test_names(self, schema):
+        assert schema.names == ["id", "value", "label"]
+
+
+class TestTable:
+    def _table(self, schema, rows=100):
+        pf = PageFile(StorageDevice())
+        table = Table("t", schema, pf)
+        table.bulk_load((i, float(i), f"row{i}") for i in range(rows))
+        return table
+
+    def test_bulk_load_counts(self, schema):
+        table = self._table(schema, rows=100)
+        assert table.row_count == 100
+
+    def test_records_per_page_from_width(self, schema):
+        table = self._table(schema, rows=0)
+        expected = int(4096 * 0.9) // schema.record_width_bytes
+        assert table.records_per_page == expected
+
+    def test_page_count(self, schema):
+        table = self._table(schema, rows=100)
+        import math
+        assert table.page_count == math.ceil(100 / table.records_per_page)
+
+    def test_pages_roundtrip_rows(self, schema):
+        table = self._table(schema, rows=50)
+        rows = [row for _pid, records in table.pages() for row in records]
+        assert len(rows) == 50
+        assert rows[0] == (0, 0.0, "row0")
+
+    def test_arity_mismatch_rejected(self, schema):
+        pf = PageFile(StorageDevice())
+        table = Table("t", schema, pf)
+        with pytest.raises(QueryError):
+            table.bulk_load([(1, 2.0)])
+
+    def test_two_tables_share_pagefile(self, schema):
+        pf = PageFile(StorageDevice())
+        t1 = Table("a", schema, pf)
+        t2 = Table("b", schema, pf)
+        t1.bulk_load([(1, 1.0, "x")])
+        t2.bulk_load([(2, 2.0, "y")])
+        assert set(t1.page_ids).isdisjoint(t2.page_ids)
+
+    def test_invalid_fill_factor(self, schema):
+        pf = PageFile(StorageDevice())
+        with pytest.raises(QueryError):
+            Table("t", schema, pf, fill_factor=0.0)

@@ -1,0 +1,83 @@
+"""Top-K operator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import ScaleUpEngine
+from repro.errors import QueryError
+from repro.query.operators import TableScan, collect
+from repro.query.schema import Column, ColumnType, Schema
+from repro.query.table import Table
+from repro.query.topk import TopK
+from repro.storage.disk import StorageDevice
+from repro.storage.file import PageFile
+
+SCHEMA = Schema([Column("id"), Column("score", ColumnType.FLOAT)])
+
+
+def setup(values):
+    pf = PageFile(StorageDevice())
+    table = Table("t", SCHEMA, pf)
+    table.bulk_load((i, float(v)) for i, v in enumerate(values))
+    engine = ScaleUpEngine.build(dram_pages=table.page_count + 4,
+                                 backing=pf)
+    return engine, table
+
+
+class TestTopK:
+    def test_largest_k(self):
+        engine, table = setup(range(100))
+        rows, _ = collect(TopK(TableScan(table), "score", k=3), engine)
+        assert [r[1] for r in rows] == [99.0, 98.0, 97.0]
+
+    def test_smallest_k(self):
+        engine, table = setup(range(100))
+        rows, _ = collect(
+            TopK(TableScan(table), "score", k=3, descending=False),
+            engine,
+        )
+        assert [r[1] for r in rows] == [0.0, 1.0, 2.0]
+
+    def test_k_larger_than_input(self):
+        engine, table = setup([5, 1, 3])
+        rows, _ = collect(TopK(TableScan(table), "score", k=10), engine)
+        assert len(rows) == 3
+        assert [r[1] for r in rows] == [5.0, 3.0, 1.0]
+
+    def test_duplicate_keys_stable_count(self):
+        engine, table = setup([7, 7, 7, 7])
+        rows, _ = collect(TopK(TableScan(table), "score", k=2), engine)
+        assert len(rows) == 2
+
+    def test_invalid_k(self):
+        _e, table = setup([1])
+        with pytest.raises(QueryError):
+            TopK(TableScan(table), "score", k=0)
+
+    def test_non_numeric_key_rejected(self):
+        pf = PageFile(StorageDevice())
+        schema = Schema([Column("s", ColumnType.STR)])
+        table = Table("t", schema, pf)
+        table.bulk_load([("a",)])
+        engine = ScaleUpEngine.build(dram_pages=8, backing=pf)
+        with pytest.raises(QueryError):
+            list(TopK(TableScan(table), "s", k=1).rows(engine))
+
+    def test_charges_time(self):
+        engine, table = setup(range(1_000))
+        _rows, elapsed = collect(
+            TopK(TableScan(table), "score", k=10), engine)
+        assert elapsed > 0
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False),
+                       min_size=1, max_size=200),
+       k=st.integers(min_value=1, max_value=50))
+@settings(max_examples=50, deadline=None)
+def test_topk_matches_sorted_reference(values, k):
+    engine, table = setup(values)
+    rows, _ = collect(TopK(TableScan(table), "score", k=k), engine)
+    expected = sorted((float(v) for v in values), reverse=True)[:k]
+    assert [r[1] for r in rows] == expected

@@ -1,0 +1,106 @@
+"""Per-agent cache model over the coherence directory."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cache import AgentCache
+from repro.sim.coherence import CoherenceDirectory, LineState
+
+
+def make_cache(capacity=1024, ways=4):
+    directory = CoherenceDirectory()
+    return AgentCache(directory, capacity_bytes=capacity, ways=ways), directory
+
+
+class TestGeometry:
+    def test_sets_and_ways(self):
+        cache, _ = make_cache(capacity=1024, ways=4)  # 16 lines
+        assert cache.num_sets == 4
+        assert cache.ways == 4
+
+    def test_indivisible_capacity_rejected(self):
+        directory = CoherenceDirectory()
+        with pytest.raises(ConfigError):
+            AgentCache(directory, capacity_bytes=1000, ways=4)
+
+    def test_line_of(self):
+        cache, _ = make_cache()
+        assert cache.line_of(0) == 0
+        assert cache.line_of(63) == 0
+        assert cache.line_of(64) == 1
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses(self):
+        cache, _ = make_cache()
+        cache.load(0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_second_access_hits(self):
+        cache, _ = make_cache()
+        cache.load(0)
+        cache.load(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_capacity_eviction(self):
+        cache, _ = make_cache(capacity=512, ways=2)  # 8 lines, 4 sets
+        # Three lines mapping to the same set (stride = num_sets*64).
+        stride = cache.num_sets * 64
+        for i in range(3):
+            cache.load(i * stride)
+        assert cache.stats.evictions == 1
+        assert not cache.contains(cache.line_of(0))
+
+    def test_lru_within_set(self):
+        cache, _ = make_cache(capacity=512, ways=2)
+        stride = cache.num_sets * 64
+        cache.load(0)          # A
+        cache.load(stride)     # B
+        cache.load(0)          # touch A -> B is LRU
+        cache.load(2 * stride)  # evicts B
+        assert cache.contains(cache.line_of(0))
+        assert not cache.contains(cache.line_of(stride))
+
+
+class TestCoherenceIntegration:
+    def test_two_caches_share_then_invalidate(self):
+        directory = CoherenceDirectory()
+        c1 = AgentCache(directory, capacity_bytes=1024, ways=4)
+        c2 = AgentCache(directory, capacity_bytes=1024, ways=4)
+        c1.load(0)
+        c2.load(0)
+        assert directory.state_of(0) is LineState.SHARED
+        c1.store(0)
+        assert directory.holders_of(0) == {c1.agent_id}
+        directory.check_invariants()
+
+    def test_eviction_informs_directory(self):
+        directory = CoherenceDirectory()
+        cache = AgentCache(directory, capacity_bytes=512, ways=2)
+        stride = cache.num_sets * 64
+        cache.store(0)
+        cache.load(stride)
+        cache.load(2 * stride)  # evicts line 0 (dirty -> writeback)
+        assert directory.stats.writebacks >= 1
+
+    def test_invalidate_all(self):
+        directory = CoherenceDirectory()
+        cache = AgentCache(directory, capacity_bytes=1024, ways=4)
+        for i in range(8):
+            cache.store(i * 64)
+        cache.invalidate_all()
+        for i in range(8):
+            assert not cache.contains(i)
+            assert directory.state_of(i) is LineState.INVALID
+
+    def test_false_sharing_visible_in_traffic(self):
+        # Two agents writing different bytes of the SAME line ping-pong.
+        directory = CoherenceDirectory()
+        c1 = AgentCache(directory, capacity_bytes=1024, ways=4)
+        c2 = AgentCache(directory, capacity_bytes=1024, ways=4)
+        for _ in range(10):
+            c1.store(0)   # byte 0
+            c2.store(32)  # byte 32, same line
+        assert directory.stats.invalidations_sent >= 19

@@ -1,0 +1,183 @@
+"""MESI directory: the two invariants of Sec 2.1 plus traffic counts."""
+
+import pytest
+
+from repro.errors import CoherenceError
+from repro.sim.coherence import (
+    CoherenceDirectory,
+    LineState,
+    NonCoherentCopy,
+)
+
+
+@pytest.fixture
+def directory() -> CoherenceDirectory:
+    return CoherenceDirectory()
+
+
+def two_agents(directory):
+    return directory.register_agent(), directory.register_agent()
+
+
+class TestProtocolTransitions:
+    def test_first_read_gets_exclusive(self, directory):
+        a, _b = two_agents(directory)
+        directory.read(a, 1)
+        assert directory.state_of(1) is LineState.EXCLUSIVE
+        assert directory.holders_of(1) == {a}
+
+    def test_second_read_shares(self, directory):
+        a, b = two_agents(directory)
+        directory.read(a, 1)
+        directory.read(b, 1)
+        assert directory.state_of(1) is LineState.SHARED
+        assert directory.holders_of(1) == {a, b}
+
+    def test_write_takes_modified(self, directory):
+        a, _b = two_agents(directory)
+        directory.write(a, 1)
+        assert directory.state_of(1) is LineState.MODIFIED
+        assert directory.holders_of(1) == {a}
+
+    def test_write_invalidates_sharers(self, directory):
+        a, b = two_agents(directory)
+        directory.read(a, 1)
+        directory.read(b, 1)
+        directory.write(a, 1)
+        # Invariant 1: only the writer's copy remains.
+        assert directory.holders_of(1) == {a}
+        assert directory.stats.invalidations_sent == 1
+
+    def test_read_after_remote_write_forces_writeback(self, directory):
+        a, b = two_agents(directory)
+        directory.write(a, 1)
+        directory.read(b, 1)
+        assert directory.state_of(1) is LineState.SHARED
+        assert directory.stats.writebacks == 1
+        assert directory.holders_of(1) == {a, b}
+
+    def test_silent_e_to_m_upgrade(self, directory):
+        a, _b = two_agents(directory)
+        directory.read(a, 1)   # E
+        msgs = directory.write(a, 1)
+        assert msgs == 0
+        assert directory.state_of(1) is LineState.MODIFIED
+
+    def test_repeat_access_by_holder_free(self, directory):
+        a, _b = two_agents(directory)
+        directory.write(a, 1)
+        assert directory.write(a, 1) == 0
+        assert directory.read(a, 1) == 0
+
+    def test_eviction_of_modified_writes_back(self, directory):
+        a, _b = two_agents(directory)
+        directory.write(a, 1)
+        msgs = directory.evict(a, 1)
+        assert msgs == 1
+        assert directory.state_of(1) is LineState.INVALID
+
+    def test_eviction_of_shared_silent(self, directory):
+        a, b = two_agents(directory)
+        directory.read(a, 1)
+        directory.read(b, 1)
+        assert directory.evict(a, 1) == 0
+        assert directory.holders_of(1) == {b}
+
+    def test_eviction_of_last_sharer_invalidates(self, directory):
+        a, b = two_agents(directory)
+        directory.read(a, 1)
+        directory.read(b, 1)
+        directory.evict(a, 1)
+        directory.evict(b, 1)
+        assert directory.state_of(1) is LineState.INVALID
+
+    def test_invariants_hold_through_a_mixed_run(self, directory):
+        agents = [directory.register_agent() for _ in range(4)]
+        import random
+        rng = random.Random(0)
+        for _ in range(2_000):
+            agent = rng.choice(agents)
+            line = rng.randrange(32)
+            action = rng.random()
+            if action < 0.5:
+                directory.read(agent, line)
+            elif action < 0.9:
+                directory.write(agent, line)
+            else:
+                directory.evict(agent, line)
+            directory.check_invariants()
+
+
+class TestTrafficAccounting:
+    def test_ping_pong_generates_invalidations(self, directory):
+        a, b = two_agents(directory)
+        for _ in range(10):
+            directory.write(a, 1)
+            directory.write(b, 1)
+        assert directory.stats.invalidations_sent >= 19
+
+    def test_read_mostly_sharing_is_cheap(self, directory):
+        agents = [directory.register_agent() for _ in range(8)]
+        for agent in agents:
+            directory.read(agent, 1)
+        before = directory.stats.messages
+        for agent in agents:
+            directory.read(agent, 1)
+        # Re-reads by holders are free.
+        assert directory.stats.messages == before
+
+    def test_invalidations_per_write_scales_with_sharers(self, directory):
+        agents = [directory.register_agent() for _ in range(8)]
+        for agent in agents:
+            directory.read(agent, 1)
+        directory.write(agents[0], 1)
+        assert directory.stats.invalidations_sent == 7
+
+
+class TestDomainLimits:
+    def test_max_agents_enforced(self):
+        directory = CoherenceDirectory(max_agents=2)
+        directory.register_agent()
+        directory.register_agent()
+        with pytest.raises(CoherenceError):
+            directory.register_agent()
+
+    def test_default_limit_is_cxl_spec(self):
+        assert CoherenceDirectory().max_agents == 4096
+
+    def test_duplicate_agent_rejected(self, directory):
+        directory.register_agent(5)
+        with pytest.raises(CoherenceError):
+            directory.register_agent(5)
+
+    def test_unknown_agent_rejected(self, directory):
+        with pytest.raises(CoherenceError):
+            directory.read(99, 1)
+
+
+class TestNonCoherentCopy:
+    """Fig 1(a): PCIe copies quietly go stale."""
+
+    def test_copy_then_read_is_fresh(self):
+        copy = NonCoherentCopy()
+        copy.dma_copy([1, 2, 3])
+        assert copy.device_read(1)
+        assert copy.fresh_reads == 1
+
+    def test_host_write_makes_copy_stale(self):
+        copy = NonCoherentCopy()
+        copy.dma_copy([1])
+        copy.host_write(1)
+        assert not copy.device_read(1)
+        assert copy.stale_reads == 1
+
+    def test_recopy_refreshes(self):
+        copy = NonCoherentCopy()
+        copy.dma_copy([1])
+        copy.host_write(1)
+        copy.dma_copy([1])
+        assert copy.device_read(1)
+
+    def test_read_before_copy_raises(self):
+        with pytest.raises(CoherenceError):
+            NonCoherentCopy().device_read(1)

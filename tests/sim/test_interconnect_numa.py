@@ -1,0 +1,130 @@
+"""Access paths and NUMA systems — the E1 calibration backbone."""
+
+import pytest
+
+from repro import config
+from repro.errors import TopologyError
+from repro.sim.interconnect import PREFETCH_DEPTH, AccessPath, Link
+from repro.sim.memory import MemoryDevice
+from repro.sim.numa import NUMASystem
+
+
+def _numa_with_cxl():
+    system = NUMASystem()
+    s0 = system.add_socket(MemoryDevice(config.local_ddr5(), name="s0"))
+    s1 = system.add_socket(MemoryDevice(config.local_ddr5(), name="s1"))
+    cxl = system.add_cxl_expander(
+        MemoryDevice(config.cxl_expander_ddr5()), attached_to=s0
+    )
+    return system, s0, s1, cxl
+
+
+class TestAccessPath:
+    def test_zero_hop_latency_is_device_latency(self):
+        device = MemoryDevice(config.local_ddr5())
+        path = AccessPath(device=device)
+        assert path.read_latency_ns() == config.LOCAL_DRAM_LOAD_NS
+
+    def test_hops_add_latency(self):
+        device = MemoryDevice(config.cxl_expander_ddr5())
+        switch = Link(config.cxl_switch_hop())
+        path = AccessPath(device=device, links=(switch,))
+        assert path.read_latency_ns() == pytest.approx(
+            config.CXL_DRAM_LOAD_NS + config.CXL_SWITCH_LATENCY_NS
+        )
+
+    def test_bandwidth_is_narrowest(self):
+        device = MemoryDevice(config.cxl_expander_ddr5())
+        narrow = Link(config.cxl_port(lanes=4))  # ~15.75 GB/s
+        path = AccessPath(device=device, links=(narrow,))
+        assert path.read_bandwidth == pytest.approx(15.75, rel=0.01)
+
+    def test_sequential_amortizes_latency(self):
+        device = MemoryDevice(config.cxl_expander_ddr5())
+        path = AccessPath(device=device)
+        random_t = path.read_time(4096)
+        seq_t = path.read_time_sequential(4096)
+        assert seq_t < random_t
+        saved = path.read_latency_ns() * (1 - 1 / PREFETCH_DEPTH)
+        assert random_t - seq_t == pytest.approx(saved)
+
+    def test_extended_prepends_hop(self):
+        device = MemoryDevice(config.cxl_expander_ddr5())
+        path = AccessPath(device=device)
+        extended = path.extended(Link(config.cxl_switch_hop()))
+        assert extended.hop_count == 1
+        assert path.hop_count == 0  # original untouched
+
+    def test_write_time_uses_store_bandwidth(self):
+        device = MemoryDevice(config.local_ddr5())
+        path = AccessPath(device=device)
+        assert path.write_bandwidth < path.read_bandwidth
+
+
+class TestNUMACalibration:
+    """The paper's Sec 2.4 numbers, measured on the model."""
+
+    def test_local_80ns(self):
+        system, s0, *_ = _numa_with_cxl()
+        assert system.path(s0, s0).read_latency_ns() == pytest.approx(80.0)
+
+    def test_remote_numa_140ns(self):
+        system, s0, s1, _ = _numa_with_cxl()
+        assert system.path(s0, s1).read_latency_ns() == pytest.approx(140.0)
+
+    def test_cxl_is_1_35x_numa(self):
+        system, s0, s1, cxl = _numa_with_cxl()
+        numa = system.path(s0, s1).read_latency_ns()
+        cxl_lat = system.path(s0, cxl).read_latency_ns()
+        assert cxl_lat / numa == pytest.approx(1.35, rel=0.01)
+
+    def test_cxl_from_other_socket_adds_upi(self):
+        system, s0, s1, cxl = _numa_with_cxl()
+        near = system.path(s0, cxl).read_latency_ns()
+        far = system.path(s1, cxl).read_latency_ns()
+        assert far == pytest.approx(near + 60.0)
+
+    def test_switched_expander_slower(self):
+        system = NUMASystem()
+        s0 = system.add_socket(MemoryDevice(config.local_ddr5()))
+        direct = system.add_cxl_expander(
+            MemoryDevice(config.cxl_expander_ddr5(), name="direct"),
+            attached_to=s0,
+        )
+        switched = system.add_cxl_expander(
+            MemoryDevice(config.cxl_expander_ddr5(), name="switched"),
+            attached_to=s0, through_switch=True,
+        )
+        assert (system.path(s0, switched).read_latency_ns()
+                > system.path(s0, direct).read_latency_ns())
+
+
+class TestNUMAStructure:
+    def test_cxl_node_has_no_cores(self):
+        system, _s0, _s1, cxl = _numa_with_cxl()
+        assert cxl.cores == 0
+        assert cxl.is_cxl
+        assert cxl in system.cxl_nodes
+        assert cxl not in system.sockets
+
+    def test_coreless_node_cannot_originate(self):
+        system, s0, _s1, cxl = _numa_with_cxl()
+        with pytest.raises(TopologyError):
+            system.path(cxl, s0)
+
+    def test_total_capacity_includes_expander(self):
+        system, s0, s1, cxl = _numa_with_cxl()
+        expected = (s0.device.capacity_bytes + s1.device.capacity_bytes
+                    + cxl.device.capacity_bytes)
+        assert system.total_capacity_bytes == expected
+
+    def test_node_lookup(self):
+        system, s0, *_ = _numa_with_cxl()
+        assert system.node(0) is s0
+        with pytest.raises(TopologyError):
+            system.node(99)
+
+    def test_socket_requires_cores(self):
+        system = NUMASystem()
+        with pytest.raises(TopologyError):
+            system.add_socket(MemoryDevice(config.local_ddr5()), cores=0)

@@ -1,0 +1,114 @@
+"""Interleaved memory sets (Pond-style striping)."""
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+from repro.sim.interconnect import AccessPath, Link
+from repro.sim.interleave import InterleaveSet
+from repro.sim.memory import MemoryDevice
+
+
+def dram_path():
+    return AccessPath(device=MemoryDevice(config.local_ddr5()))
+
+
+def cxl_path():
+    return AccessPath(device=MemoryDevice(config.cxl_expander_ddr5()),
+                      links=(Link(config.cxl_port()),))
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            InterleaveSet(paths=[])
+
+    def test_weight_arity(self):
+        with pytest.raises(ConfigError):
+            InterleaveSet(paths=[dram_path()], weights=[1, 2])
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ConfigError):
+            InterleaveSet(paths=[dram_path()], weights=[0])
+
+    def test_capacity_sums(self):
+        iset = InterleaveSet(paths=[dram_path(), cxl_path()])
+        assert iset.capacity_bytes == (
+            config.local_ddr5().capacity_bytes
+            + config.cxl_expander_ddr5().capacity_bytes
+        )
+
+
+class TestStriping:
+    def test_round_robin(self):
+        a, b = dram_path(), cxl_path()
+        iset = InterleaveSet(paths=[a, b], granularity_bytes=256)
+        assert iset.path_for(0) is a
+        assert iset.path_for(256) is b
+        assert iset.path_for(512) is a
+
+    def test_weighted_stripe(self):
+        a, b = dram_path(), cxl_path()
+        iset = InterleaveSet(paths=[a, b], granularity_bytes=256,
+                             weights=[3, 1])
+        members = [iset.path_for(i * 256) for i in range(8)]
+        assert members.count(a) == 6
+        assert members.count(b) == 2
+
+    def test_same_stripe_same_member(self):
+        iset = InterleaveSet(paths=[dram_path(), cxl_path()],
+                             granularity_bytes=256)
+        assert iset.path_for(10) is iset.path_for(200)
+
+
+class TestAggregatePerformance:
+    def test_mean_latency_between_members(self):
+        iset = InterleaveSet(paths=[dram_path(), cxl_path()])
+        dram_lat = config.LOCAL_DRAM_LOAD_NS
+        cxl_lat = config.CXL_DRAM_LOAD_NS
+        assert dram_lat < iset.mean_read_latency_ns < cxl_lat
+        assert iset.mean_read_latency_ns == pytest.approx(
+            (dram_lat + cxl_lat) / 2
+        )
+
+    def test_weighting_dilutes_cxl_latency(self):
+        balanced = InterleaveSet(paths=[dram_path(), cxl_path()])
+        mostly_dram = InterleaveSet(paths=[dram_path(), cxl_path()],
+                                    weights=[3, 1])
+        assert (mostly_dram.mean_read_latency_ns
+                < balanced.mean_read_latency_ns)
+
+    def test_bandwidth_aggregates_over_equal_members(self):
+        one = InterleaveSet(paths=[cxl_path()])
+        four = InterleaveSet(paths=[cxl_path() for _ in range(4)])
+        assert four.read_bandwidth == pytest.approx(
+            4 * one.read_bandwidth
+        )
+
+    def test_unbalanced_stripe_limits_aggregate(self):
+        # A 1:1 stripe over DRAM+CXL is limited by 2x the slower side.
+        iset = InterleaveSet(paths=[dram_path(), cxl_path()])
+        cxl_bw = cxl_path().read_bandwidth
+        assert iset.read_bandwidth == pytest.approx(2 * cxl_bw)
+
+    def test_large_read_uses_aggregate(self):
+        single = cxl_path()
+        iset = InterleaveSet(paths=[cxl_path() for _ in range(4)])
+        size = 64 * 1024 * 1024
+        assert iset.read_time(0, size) < single.read_time(size) / 2
+
+    def test_small_read_pays_single_member(self):
+        a, b = dram_path(), cxl_path()
+        iset = InterleaveSet(paths=[a, b], granularity_bytes=256)
+        assert iset.read_time(0, 64) == pytest.approx(
+            config.LOCAL_DRAM_LOAD_NS, rel=0.1
+        )
+        assert iset.read_time(256, 64) == pytest.approx(
+            config.CXL_DRAM_LOAD_NS, rel=0.1
+        )
+
+    def test_write_time_positive_and_ordered(self):
+        iset = InterleaveSet(paths=[dram_path(), cxl_path()])
+        small = iset.write_time(0, 64)
+        large = iset.write_time(0, 1024 * 1024)
+        assert 0 < small < large

@@ -1,0 +1,129 @@
+"""Memory devices: timing, contention, allocation, failure."""
+
+import pytest
+
+from repro import config
+from repro.errors import AddressError, ConfigError, DeviceFailure
+from repro.sim.memory import MemoryDevice
+from repro.units import CACHE_LINE, KIB
+
+
+@pytest.fixture
+def device() -> MemoryDevice:
+    return MemoryDevice(config.local_ddr5(capacity_bytes=64 * KIB))
+
+
+class TestTiming:
+    def test_line_load_is_latency_dominated(self, device):
+        t = device.load_time(CACHE_LINE)
+        assert t == pytest.approx(
+            device.spec.load_latency_ns
+            + CACHE_LINE / device.spec.effective_load_bandwidth
+        )
+
+    def test_large_load_is_bandwidth_dominated(self, device):
+        t = device.load_time(16 * 1024 * 1024)
+        transfer = 16 * 1024 * 1024 / device.spec.effective_load_bandwidth
+        assert t == pytest.approx(transfer, rel=0.01)
+
+    def test_cxl_load_slower_than_dram(self):
+        dram = MemoryDevice(config.local_ddr5())
+        cxl = MemoryDevice(config.cxl_expander_ddr5())
+        assert cxl.load_time() > dram.load_time()
+
+    def test_stats_counted(self, device):
+        device.load_time(64)
+        device.load_time(64)
+        device.store_time(128)
+        assert device.stats.loads == 2
+        assert device.stats.stores == 1
+        assert device.stats.load_bytes == 128
+        assert device.stats.bytes_total == 256
+        assert device.stats.accesses == 3
+
+    def test_contended_loads_queue(self, device):
+        t1 = device.load_completion(1024 * 1024, now_ns=0.0)
+        t2 = device.load_completion(1024 * 1024, now_ns=0.0)
+        assert t2 > t1
+
+    def test_efficiency_inflates_channel_use(self):
+        # A CXL device (46% efficient) should occupy its raw channel
+        # longer than a local one (85%) for the same payload.
+        cxl = MemoryDevice(config.cxl_expander_ddr5())
+        cxl.load_completion(1024 * 1024, 0.0)
+        raw = cxl.channel.bytes_transferred
+        assert raw == pytest.approx(1024 * 1024 / 0.46, rel=0.01)
+
+    def test_reset_stats(self, device):
+        device.load_time(64)
+        device.reset_stats()
+        assert device.stats.accesses == 0
+        assert device.channel.bytes_transferred == 0
+
+
+class TestAllocation:
+    def test_first_fit(self, device):
+        a = device.allocate(16 * KIB)
+        b = device.allocate(16 * KIB)
+        assert a == 0
+        assert b == 16 * KIB
+        assert device.allocated_bytes == 32 * KIB
+        assert device.free_bytes == 32 * KIB
+
+    def test_free_and_reuse(self, device):
+        a = device.allocate(16 * KIB)
+        device.allocate(16 * KIB)
+        device.free(a)
+        c = device.allocate(8 * KIB)
+        assert c == 0  # reuses the first hole
+
+    def test_coalescing(self, device):
+        a = device.allocate(16 * KIB)
+        b = device.allocate(16 * KIB)
+        c = device.allocate(16 * KIB)
+        device.free(a)
+        device.free(b)
+        # a+b coalesced: a 32 KiB allocation fits at offset 0.
+        big = device.allocate(32 * KIB)
+        assert big == 0
+        device.free(big)
+        device.free(c)
+        assert device.allocated_bytes == 0
+
+    def test_exhaustion_raises(self, device):
+        device.allocate(64 * KIB)
+        with pytest.raises(AddressError):
+            device.allocate(1)
+
+    def test_double_free_raises(self, device):
+        a = device.allocate(KIB)
+        device.free(a)
+        with pytest.raises(AddressError):
+            device.free(a)
+
+    def test_zero_allocation_rejected(self, device):
+        with pytest.raises(ConfigError):
+            device.allocate(0)
+
+
+class TestFailure:
+    def test_failed_device_raises_on_access(self, device):
+        device.fail()
+        assert not device.healthy
+        with pytest.raises(DeviceFailure):
+            device.load_time(64)
+        with pytest.raises(DeviceFailure):
+            device.store_time(64)
+        with pytest.raises(DeviceFailure):
+            device.allocate(KIB)
+
+    def test_repair_restores(self, device):
+        device.fail()
+        device.repair()
+        assert device.healthy
+        device.load_time(64)
+
+    def test_kind_helpers(self):
+        assert MemoryDevice(config.cxl_expander_ddr5()).is_cxl
+        assert MemoryDevice(config.cxl_expander_hbm()).is_cxl
+        assert not MemoryDevice(config.local_ddr5()).is_cxl

@@ -1,0 +1,153 @@
+"""RDMA baseline fabric and RAS failure handling (E4 / E10 backbones)."""
+
+import pytest
+
+from repro import config
+from repro.errors import TopologyError
+from repro.sim.events import Simulator
+from repro.sim.memory import MemoryDevice
+from repro.sim.ras import (
+    CXL_POOL_PATH,
+    REMOTE_SERVER_PATH,
+    FailureInjector,
+    RASMonitor,
+    TimeoutMonitor,
+    path_failure_probability,
+)
+from repro.sim.rdma import RDMAFabric
+from repro.units import ms, us
+
+
+@pytest.fixture
+def fabric() -> RDMAFabric:
+    fabric = RDMAFabric()
+    fabric.add_host("a")
+    fabric.add_host("b")
+    return fabric
+
+
+class TestRDMAFabric:
+    def test_small_read_is_latency_floor(self, fabric):
+        t = fabric.one_sided_read_time("a", "b", 64)
+        assert t >= config.RDMA_BASE_LATENCY_NS
+        assert t < config.RDMA_BASE_LATENCY_NS + us(1)
+
+    def test_rdma_at_least_2_5x_slower_than_cxl(self, fabric):
+        # Paper Sec 2.5: "a difference of at least 2.5x".
+        rdma = fabric.one_sided_read_time("a", "b", 64)
+        cxl_switched = (config.CXL_DRAM_LOAD_NS
+                        + config.CXL_SWITCH_LATENCY_NS)
+        assert rdma / cxl_switched >= 2.5
+
+    def test_large_transfer_bandwidth_limited(self, fabric):
+        size = 1024 * 1024 * 1024
+        t = fabric.one_sided_read_time("a", "b", size)
+        effective = size / t
+        assert effective == pytest.approx(50.0, rel=0.05)  # GB/s
+
+    def test_nic_wastes_pcie(self, fabric):
+        nic = fabric.nic("a")
+        assert nic.wasted_pcie_fraction > 0.20
+
+    def test_rpc_is_two_crossings(self, fabric):
+        one_way = fabric.one_sided_write_time("a", "b", 128)
+        rpc = fabric.rpc_time("a", "b", 128, 128)
+        assert rpc == pytest.approx(2 * one_way, rel=0.05)
+
+    def test_contended_sends_queue(self, fabric):
+        t1 = fabric.send_completion("a", "b", 1024 * 1024, 0.0)
+        t2 = fabric.send_completion("a", "b", 1024 * 1024, 0.0)
+        assert t2 > t1
+
+    def test_self_rdma_rejected(self, fabric):
+        with pytest.raises(TopologyError):
+            fabric.one_sided_read_time("a", "a", 64)
+
+    def test_unknown_host_rejected(self, fabric):
+        with pytest.raises(TopologyError):
+            fabric.one_sided_read_time("a", "ghost", 64)
+
+    def test_duplicate_host_rejected(self, fabric):
+        with pytest.raises(TopologyError):
+            fabric.add_host("a")
+
+    def test_stats(self, fabric):
+        fabric.one_sided_read_time("a", "b", 100)
+        fabric.one_sided_write_time("a", "b", 200)
+        assert fabric.stats.reads == 1
+        assert fabric.stats.writes == 1
+        assert fabric.stats.bytes == 300
+
+
+class TestFailureDetection:
+    def _run(self, monitor_kwargs=None, timeout_kwargs=None,
+             fail_at=ms(7.0)):
+        sim = Simulator()
+        device = MemoryDevice(config.cxl_expander_ddr5())
+        injector = FailureInjector(sim)
+        ras = RASMonitor(**(monitor_kwargs or {}))
+        timeout = TimeoutMonitor(**(timeout_kwargs or {}))
+        injector.attach(ras)
+        injector.attach(timeout)
+        injector.fail_at(device, fail_at)
+        sim.run()
+        return device, ras, timeout
+
+    def test_device_actually_fails(self):
+        device, _ras, _timeout = self._run()
+        assert not device.healthy
+
+    def test_ras_detects_within_protocol_latency(self):
+        _d, ras, _t = self._run()
+        assert len(ras.records) == 1
+        assert ras.records[0].detection_delay_ns == pytest.approx(us(10))
+
+    def test_timeout_takes_heartbeats(self):
+        _d, _ras, timeout = self._run()
+        assert len(timeout.records) == 1
+        delay = timeout.records[0].detection_delay_ns
+        # Between 2 and 3 heartbeat intervals after the failure.
+        assert ms(200) <= delay <= ms(300)
+
+    def test_ras_orders_of_magnitude_faster(self):
+        _d, ras, timeout = self._run()
+        ratio = (timeout.records[0].detection_delay_ns
+                 / ras.records[0].detection_delay_ns)
+        assert ratio > 1_000
+
+    def test_timeout_boundary_alignment(self):
+        monitor = TimeoutMonitor(heartbeat_interval_ns=ms(100),
+                                 miss_threshold=3)
+        # Failure exactly on a heartbeat: that beat still succeeds.
+        t = monitor.detection_time_ns(ms(100))
+        assert t == pytest.approx(ms(400))
+
+    def test_multiple_failures(self):
+        sim = Simulator()
+        injector = FailureInjector(sim)
+        ras = RASMonitor()
+        injector.attach(ras)
+        devices = [MemoryDevice(config.cxl_expander_ddr5(),
+                                name=f"d{i}") for i in range(3)]
+        for i, device in enumerate(devices):
+            injector.fail_at(device, ms(1.0 * (i + 1)))
+        sim.run()
+        assert len(ras.records) == 3
+        assert [r.device_name for r in ras.records] == ["d0", "d1", "d2"]
+
+
+class TestComponentFailureModel:
+    def test_pool_path_fewer_components(self):
+        assert len(CXL_POOL_PATH) < len(REMOTE_SERVER_PATH)
+
+    def test_pool_path_less_likely_to_fail(self):
+        # Paper Sec 2.6: lower component count -> lower failure odds.
+        pool = path_failure_probability(CXL_POOL_PATH)
+        remote = path_failure_probability(REMOTE_SERVER_PATH)
+        assert pool < remote
+        assert remote / pool > 3.0
+
+    def test_probability_grows_with_horizon(self):
+        one = path_failure_probability(CXL_POOL_PATH, 1.0)
+        five = path_failure_probability(CXL_POOL_PATH, 5.0)
+        assert 0.0 < one < five < 1.0

@@ -1,0 +1,240 @@
+"""Rack topologies — the three architectures of Fig 2."""
+
+import pytest
+
+from repro import config
+from repro.errors import TopologyError
+from repro.sim.memory import MemoryDevice
+from repro.sim.topology import RackTopology
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        rack = RackTopology()
+        rack.add_host("h")
+        with pytest.raises(TopologyError):
+            rack.add_host("h")
+        with pytest.raises(TopologyError):
+            rack.add_switch("h")
+
+    def test_connect_unknown_rejected(self):
+        rack = RackTopology()
+        rack.add_host("h")
+        with pytest.raises(TopologyError):
+            rack.connect("h", "ghost")
+
+    def test_switch_port_exhaustion(self):
+        rack = RackTopology()
+        rack.add_switch("sw", ports=2)
+        rack.add_host("h0")
+        rack.add_host("h1")
+        rack.add_host("h2")
+        rack.connect("h0", "sw")
+        rack.connect("h1", "sw")
+        with pytest.raises(TopologyError):
+            rack.connect("h2", "sw")
+
+    def test_device_of(self):
+        rack = RackTopology()
+        host = rack.add_host("h")
+        assert rack.device_of("h") is host.dram
+        rack.add_switch("sw")
+        with pytest.raises(TopologyError):
+            rack.device_of("sw")
+
+    def test_no_route(self):
+        rack = RackTopology()
+        rack.add_host("h")
+        rack.add_expander("x", MemoryDevice(config.cxl_expander_ddr5()))
+        with pytest.raises(TopologyError):
+            rack.path("h", "x")
+
+
+class TestFig2aLocalExpansion:
+    def test_direct_attach_latency(self):
+        rack = RackTopology.local_expansion()
+        path = rack.path("host0", "cxl0")
+        # Direct attach: no switch, so end-to-end == expander spec.
+        assert path.read_latency_ns() == pytest.approx(
+            config.CXL_DRAM_LOAD_NS
+        )
+
+    def test_local_dram_is_zero_hops(self):
+        rack = RackTopology.local_expansion()
+        path = rack.path("host0", "host0")
+        assert path.hop_count == 0
+        assert path.read_latency_ns() == pytest.approx(80.0)
+
+
+class TestFig2bPooling:
+    def test_one_switch_hop(self):
+        rack = RackTopology.pooled(num_hosts=4)
+        path = rack.path("host0", "pool0")
+        assert path.read_latency_ns() == pytest.approx(
+            config.CXL_DRAM_LOAD_NS + config.CXL_SWITCH_LATENCY_NS
+        )
+
+    def test_within_pond_envelope(self):
+        rack = RackTopology.pooled(num_hosts=8)
+        lat = rack.path("host3", "pool0").read_latency_ns()
+        assert 200.0 <= lat <= 400.0
+
+    def test_every_host_reaches_pool(self):
+        rack = RackTopology.pooled(num_hosts=8)
+        latencies = {
+            rack.path(h.name, "pool0").read_latency_ns()
+            for h in rack.hosts
+        }
+        assert len(latencies) == 1  # symmetric
+
+    def test_host_to_host_memory_possible(self):
+        # CXL also gives a path between hosts through the switch.
+        rack = RackTopology.pooled(num_hosts=2)
+        path = rack.path("host0", "host1")
+        assert path.hop_count >= 2
+
+
+class TestMultiRack:
+    """Spanning a small number of racks (Sec 3.3)."""
+
+    def test_local_rack_access_unchanged(self):
+        topo = RackTopology.multi_rack(racks=2)
+        local = topo.path("r0-host0", "r0-gfam").read_latency_ns()
+        assert local == pytest.approx(
+            config.CXL_DRAM_LOAD_NS + config.CXL_SWITCH_LATENCY_NS
+        )
+
+    def test_cross_rack_pays_optical_hop(self):
+        topo = RackTopology.multi_rack(racks=2,
+                                       inter_rack_latency_ns=150.0)
+        local = topo.path("r0-host0", "r0-gfam").read_latency_ns()
+        remote = topo.path("r0-host0", "r1-gfam").read_latency_ns()
+        # Extra: the optical link plus the remote spine traversal.
+        assert remote == pytest.approx(
+            local + 150.0 + config.CXL_SWITCH_LATENCY_NS
+        )
+
+    def test_cross_rack_still_beats_rdma(self):
+        from repro.sim.rdma import RDMAFabric
+        topo = RackTopology.multi_rack(racks=3)
+        worst = max(
+            topo.path("r0-host0", f"r{r}-gfam").read_latency_ns()
+            for r in range(3)
+        )
+        fabric = RDMAFabric()
+        fabric.add_host("a")
+        fabric.add_host("b")
+        assert worst < fabric.one_sided_read_time("a", "b", 64) / 2.5
+
+    def test_every_host_reaches_every_gfam(self):
+        topo = RackTopology.multi_rack(racks=3, hosts_per_rack=2)
+        for r in range(3):
+            for h in range(2):
+                for g in range(3):
+                    path = topo.path(f"r{r}-host{h}", f"r{g}-gfam")
+                    assert path.read_latency_ns() > 0
+
+    def test_invalid_rack_count(self):
+        with pytest.raises(TopologyError):
+            RackTopology.multi_rack(racks=0)
+
+
+class TestGIMSegments:
+    """CXL 3.x Global Integrated Memory (Sec 3.3 ref [8])."""
+
+    def _rack(self):
+        rack = RackTopology.pooled(num_hosts=2)
+        segment = rack.add_gim_segment("host0", 8 * 1024 ** 3)
+        rack.connect("host0-gim", "switch0")
+        return rack, segment
+
+    def test_owner_reaches_segment_at_local_speed(self):
+        rack, _segment = self._rack()
+        path = rack.path("host0", "host0-gim")
+        assert path.read_latency_ns() == pytest.approx(
+            config.LOCAL_DRAM_LOAD_NS
+        )
+
+    def test_peer_pays_the_fabric(self):
+        rack, _segment = self._rack()
+        peer = rack.path("host1", "host0-gim")
+        owner = rack.path("host0", "host0-gim")
+        assert peer.read_latency_ns() > owner.read_latency_ns()
+        # One switch traversal on the peer route.
+        assert peer.read_latency_ns() >= config.CXL_SWITCH_LATENCY_NS
+
+    def test_segment_must_fit_host_dram(self):
+        rack = RackTopology.pooled(num_hosts=1)
+        host_dram = rack.host("host0").dram.capacity_bytes
+        with pytest.raises(TopologyError):
+            rack.add_gim_segment("host0", host_dram + 1)
+        with pytest.raises(TopologyError):
+            rack.add_gim_segment("host0", 0)
+
+    def test_segment_capacity(self):
+        rack, segment = self._rack()
+        assert segment.capacity_bytes == 8 * 1024 ** 3
+
+
+class TestPeerToPeer:
+    """CXL 3.x device-to-device paths (Sec 2.3/2.5)."""
+
+    def test_pool_to_pool_path_exists(self):
+        rack = RackTopology.disaggregated(num_pools=2)
+        path = rack.peer_path("gfam0", "gfam1")
+        assert path.hop_count >= 1
+        assert path.device.name == "gfam1"
+
+    def test_peer_path_skips_hosts(self):
+        rack = RackTopology.pooled(num_hosts=2)
+        rack.add_expander(
+            "acc-mem",
+            MemoryDevice(config.cxl_expander_hbm(), name="acc-mem"),
+        )
+        rack.connect("acc-mem", "switch0")
+        path = rack.peer_path("acc-mem", "pool0")
+        # Route: acc-mem -> switch0 -> pool0 (one switch traversal).
+        assert path.read_latency_ns() == pytest.approx(
+            config.CXL_DRAM_LOAD_NS + config.CXL_SWITCH_LATENCY_NS
+        )
+
+    def test_unknown_source_rejected(self):
+        rack = RackTopology.pooled(num_hosts=1)
+        with pytest.raises(TopologyError):
+            rack.peer_path("ghost", "pool0")
+
+    def test_host_path_delegates_to_peer_path(self):
+        rack = RackTopology.pooled(num_hosts=2)
+        assert (rack.path("host0", "pool0").read_latency_ns()
+                == rack.peer_path("host0", "pool0").read_latency_ns())
+
+
+class TestFig2cDisaggregation:
+    def test_cascaded_switches_two_hops(self):
+        rack = RackTopology.disaggregated(num_hosts=4, cascade=True)
+        path = rack.path("host0", "gfam0")
+        # leaf + spine traversals.
+        assert path.read_latency_ns() == pytest.approx(
+            config.CXL_DRAM_LOAD_NS + 2 * config.CXL_SWITCH_LATENCY_NS
+        )
+
+    def test_still_within_pond_envelope(self):
+        rack = RackTopology.disaggregated()
+        lat = rack.path("host5", "gfam1").read_latency_ns()
+        assert 200.0 <= lat <= 400.0
+
+    def test_gfam_flag(self):
+        rack = RackTopology.disaggregated(num_pools=2)
+        assert all(p.gfam for p in rack.pools)
+
+    def test_all_hosts_reach_all_pools(self):
+        rack = RackTopology.disaggregated(num_hosts=8, num_pools=2)
+        for host in rack.hosts:
+            for pool in rack.pools:
+                assert rack.path(host.name, pool.name).hop_count >= 1
+
+    def test_flat_beats_cascade_for_near_leaf(self):
+        flat = RackTopology.disaggregated(num_hosts=2, cascade=False)
+        cascade = RackTopology.disaggregated(num_hosts=2, cascade=True)
+        assert (flat.path("host0", "gfam0").read_latency_ns()
+                <= cascade.path("host0", "gfam0").read_latency_ns())

@@ -1,0 +1,46 @@
+"""The `python -m repro` experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, find_benchmarks_dir, load_experiment, main
+
+
+class TestDiscovery:
+    def test_benchmarks_dir_found(self):
+        bench_dir = find_benchmarks_dir()
+        assert bench_dir is not None
+        assert (bench_dir / "bench_e1_latency_bandwidth.py").is_file()
+
+    def test_every_experiment_file_exists(self):
+        bench_dir = find_benchmarks_dir()
+        for filename in EXPERIMENTS.values():
+            assert (bench_dir / filename).is_file(), filename
+
+    def test_every_experiment_loads(self):
+        bench_dir = find_benchmarks_dir()
+        for exp_id in EXPERIMENTS:
+            run = load_experiment(bench_dir, exp_id)
+            assert callable(run)
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out
+        assert "f1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["e99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_one(self, capsys):
+        assert main(["e1"]) == 0
+        out = capsys.readouterr().out
+        assert "E1: CXL vs NUMA" in out
+        assert "1.34x" in out
+
+    @pytest.mark.parametrize("exp_id", ["e4", "f1"])
+    def test_run_fast_experiments(self, exp_id, capsys):
+        assert main([exp_id]) == 0
+        assert "done in" in capsys.readouterr().out

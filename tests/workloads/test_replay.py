@@ -1,0 +1,75 @@
+"""Trace persistence and profiling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import Access, YCSBConfig, scan_trace, ycsb_trace
+from repro.workloads.replay import load_trace, profile_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        original = list(ycsb_trace(YCSBConfig(
+            mix="A", num_pages=100, num_ops=500, seed=1)))
+        path = tmp_path / "trace.npz"
+        written = save_trace(path, original)
+        assert written == len(original)
+        loaded = list(load_trace(path))
+        assert loaded == original
+
+    def test_scan_flags_preserved(self, tmp_path):
+        original = list(scan_trace(0, 20, repeats=1))
+        path = tmp_path / "scan.npz"
+        save_trace(path, original)
+        loaded = list(load_trace(path))
+        assert all(a.is_scan for a in loaded)
+        assert all(a.nbytes == 4096 for a in loaded)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            save_trace(tmp_path / "empty.npz", [])
+
+    def test_file_is_compact(self, tmp_path):
+        trace = list(ycsb_trace(YCSBConfig(
+            mix="C", num_pages=1_000, num_ops=10_000, seed=2)))
+        path = tmp_path / "big.npz"
+        save_trace(path, trace)
+        # Well under 10 bytes/access once compressed.
+        assert path.stat().st_size < 10 * len(trace)
+
+
+class TestProfiling:
+    def test_basic_counts(self):
+        trace = [Access(page_id=0), Access(page_id=0, write=True),
+                 Access(page_id=1, is_scan=True, nbytes=4096)]
+        profile = profile_trace(trace)
+        assert profile.accesses == 3
+        assert profile.footprint_pages == 2
+        assert profile.read_ratio == pytest.approx(2 / 3)
+        assert profile.scan_share == pytest.approx(1 / 3)
+        assert profile.bytes_touched == 64 + 64 + 4096
+
+    def test_zipf_trace_is_tierable(self):
+        trace = ycsb_trace(YCSBConfig(
+            mix="C", num_pages=10_000, num_ops=20_000, theta=0.99,
+            seed=3))
+        profile = profile_trace(trace)
+        assert profile.hot_10pct_share > 0.5
+        assert profile.tierable
+
+    def test_uniform_trace_is_not_tierable(self):
+        trace = ycsb_trace(YCSBConfig(
+            mix="C", num_pages=10_000, num_ops=20_000, theta=0.0,
+            seed=3))
+        profile = profile_trace(trace)
+        assert not profile.tierable
+
+    def test_hot_shares_monotone(self):
+        trace = ycsb_trace(YCSBConfig(
+            mix="B", num_pages=5_000, num_ops=10_000, seed=4))
+        profile = profile_trace(trace)
+        assert profile.hot_1pct_share <= profile.hot_10pct_share <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            profile_trace([])
