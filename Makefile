@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: verify test lint bench trace-demo clean
+
+# The tier-1 gate: what CI runs and what every change must keep green.
+verify: test lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+trace-demo:
+	$(PYTHON) examples/quickstart.py --trace-out quickstart.trace.json
+
+clean:
+	rm -rf .pytest_cache .ruff_cache quickstart.trace.json
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -8,6 +8,18 @@ suite exercises, without the benchmarking harness)::
     python -m repro e3 e7           # run selected experiments
     python -m repro --list          # show what exists
 
+Observability (the SimContext spine)::
+
+    python -m repro e1 --trace-out run.trace.json   # chrome://tracing
+    python -m repro e1 --trace-out run.jsonl        # JSON lines
+    python -m repro e1 --metrics-out metrics.json   # metrics snapshot
+
+``--trace-out`` installs an ambient trace sink for the run, so every
+engine built by the selected experiments records its spans into one
+file (Chrome trace-event JSON unless the path ends in ``.jsonl``).
+``--metrics-out`` writes the ambient hierarchical metrics snapshot as
+JSON and prints a per-component latency breakdown.
+
 The experiment implementations live in ``benchmarks/`` next to this
 repository's ``src/``; each module exposes ``run_experiment(show=...)``.
 """
@@ -16,9 +28,15 @@ from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import sys
 import time
 from pathlib import Path
+
+from .metrics.registry import MetricsRegistry
+from .metrics.report import latency_breakdown
+from .sim.context import set_ambient
+from .sim.trace import sink_for_path
 
 #: Experiment id -> benchmark module filename.
 EXPERIMENTS: dict[str, str] = {
@@ -86,6 +104,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment ids (default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="record a virtual-time trace of the run"
+                             " (.jsonl = JSON lines, else Chrome"
+                             " trace-event JSON for chrome://tracing)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the hierarchical metrics snapshot"
+                             " as JSON and print a latency breakdown")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -106,9 +131,40 @@ def main(argv: list[str] | None = None) -> int:
               f" choose from {list(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    for exp_id in selected:
-        run = load_experiment(bench_dir, exp_id)
-        started = time.time()
-        run(show=True)
-        print(f"[{exp_id} done in {time.time() - started:.1f}s]")
+    # Fail on unwritable output paths now, not after the experiments
+    # have run (the Chrome sink only opens its file on close).
+    for out in (args.trace_out, args.metrics_out):
+        if out is None:
+            continue
+        parent = Path(out).resolve().parent
+        if not parent.is_dir():
+            print(f"error: cannot write {out}:"
+                  f" no such directory {parent}", file=sys.stderr)
+            return 2
+
+    # Install the ambient instrumentation spine for the run: every
+    # SimContext created without an explicit trace/metrics (i.e. every
+    # engine the experiments build) picks these up.
+    sink = sink_for_path(args.trace_out) if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else None
+    previous = set_ambient(trace=sink, metrics=metrics)
+    try:
+        for exp_id in selected:
+            run = load_experiment(bench_dir, exp_id)
+            started = time.time()
+            run(show=True)
+            print(f"[{exp_id} done in {time.time() - started:.1f}s]")
+    finally:
+        set_ambient(*previous)
+        if sink is not None:
+            sink.close()
+            print(f"[trace written to {args.trace_out}]")
+        if metrics is not None:
+            snapshot = metrics.snapshot()
+            Path(args.metrics_out).write_text(
+                json.dumps(snapshot, indent=2, sort_keys=True,
+                           default=str) + "\n"
+            )
+            latency_breakdown(snapshot).show()
+            print(f"[metrics written to {args.metrics_out}]")
     return 0

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ConfigError
 from ..metrics.stats import percentile
+from ..sim.context import SimContext
 from ..units import SECOND, ms, us
 
 
@@ -95,7 +96,8 @@ class Autoscaler:
                  cold_spawn_ns: float = us(200.0),
                  cold_ramp_jobs: int = 50,
                  cold_penalty: float = 4.0,
-                 name: str | None = None) -> None:
+                 name: str | None = None,
+                 ctx: SimContext | None = None) -> None:
         if mode not in ("warm", "cold", "fixed"):
             raise ConfigError(f"unknown mode {mode!r}")
         if not 1 <= min_workers <= max_workers:
@@ -111,6 +113,10 @@ class Autoscaler:
         self.cold_penalty = cold_penalty
         self.name = name or f"autoscale-{mode}"
         self._ids = itertools.count()
+        self.ctx = ctx
+        self._last_report: AutoscaleReport | None = None
+        if ctx is not None:
+            ctx.register(f"autoscale.{self.name}", self)
 
     # -- internals -------------------------------------------------------
 
@@ -196,7 +202,32 @@ class Autoscaler:
             report.engine_time_ns += max(
                 0.0, horizon - worker.spawned_at_ns
             )
+        self._last_report = report
+        ctx = self.ctx
+        if ctx is not None:
+            if ctx.trace.enabled:
+                ctx.trace.emit_span(
+                    f"autoscale:{self.name}", "elastic", 0.0, end,
+                    {"jobs": report.jobs, "spawns": report.spawns,
+                     "peak_workers": report.peak_workers},
+                )
+            ctx.metrics.incr(f"autoscale.{self.name}.runs")
         return report
+
+    def snapshot(self) -> dict:
+        """Fleet accounting (metrics snapshot protocol)."""
+        snap: dict = {"mode": self.mode,
+                      "max_workers": self.max_workers}
+        report = self._last_report
+        if report is not None:
+            snap["jobs"] = report.jobs
+            snap["spawns"] = report.spawns
+            snap["retires"] = report.retires
+            snap["peak_workers"] = report.peak_workers
+            snap["mean_wait_ns"] = report.mean_wait_ns
+            snap["p95_wait_ns"] = report.p95_wait_ns
+            snap["engine_time_ns"] = report.engine_time_ns
+        return snap
 
     @staticmethod
     def _mean_queue_depth(live: list[_Worker], now: float) -> float:

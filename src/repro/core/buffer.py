@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from ..errors import BufferPoolError, PageFaultError
 from ..sim.clock import SimClock
+from ..sim.context import SimContext
 from ..sim.interconnect import AccessPath
 from ..storage.file import PageFile
 from ..storage.page import Page, PageId
@@ -70,6 +71,16 @@ class TierStats:
     demotions_in: int = 0
     resident_peak: int = 0
 
+    def snapshot(self) -> dict:
+        """Counters as a dict (metrics snapshot protocol)."""
+        return {
+            "hits": self.hits,
+            "evictions": self.evictions,
+            "promotions_in": self.promotions_in,
+            "demotions_in": self.demotions_in,
+            "resident_peak": self.resident_peak,
+        }
+
 
 @dataclass
 class BufferPoolStats:
@@ -102,6 +113,27 @@ class BufferPoolStats:
             return 0.0
         return self.per_tier[tier_index].hits / self.accesses
 
+    def snapshot(self) -> dict:
+        """Pool-wide counters as a dict (metrics snapshot protocol).
+
+        Per-tier stats are keyed by index here; the pool's own
+        :meth:`TieredBufferPool.snapshot` re-keys them by tier name.
+        """
+        snap: dict = {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "hits": self.hits,
+            "hit_rate": self.hit_rate,
+            "writebacks": self.writebacks,
+            "migrations": self.migrations,
+            "demand_time_ns": self.demand_time_ns,
+            "fault_time_ns": self.fault_time_ns,
+            "migration_time_ns": self.migration_time_ns,
+        }
+        for index, tier_stats in enumerate(self.per_tier):
+            snap[f"tier.{index}"] = tier_stats.snapshot()
+        return snap
+
 
 class TieredBufferPool:
     """A buffer pool spanning DRAM and CXL memory tiers."""
@@ -114,12 +146,26 @@ class TieredBufferPool:
         tracker: TemperatureTracker | None = None,
         clock: SimClock | None = None,
         page_size: int = 4096,
+        ctx: SimContext | None = None,
     ) -> None:
         if not tiers:
             raise BufferPoolError("a pool needs at least one tier")
         self.tiers = list(tiers)
         self.backing = backing
-        self.clock = clock or SimClock()
+        # One clock per run: with a context the pool *adopts* the
+        # shared clock instead of constructing its own; bind_clock
+        # asserts no second clock sneaks in.
+        if ctx is None:
+            ctx = SimContext(clock=clock)
+        elif clock is not None and clock is not ctx.clock:
+            raise BufferPoolError(
+                "pool was given both a SimContext and a different"
+                " clock; a run must use exactly one clock"
+            )
+        self.ctx = ctx
+        self.clock = ctx.bind_clock(ctx.clock, owner="buffer-pool")
+        self._trace = ctx.trace
+        ctx.register("pool", self)
         self.page_size = page_size
         self.tracker: TemperatureTracker = tracker or ExactTracker()
         self.stats = BufferPoolStats(
@@ -166,6 +212,19 @@ class TieredBufferPool:
         """Sum of tier capacities."""
         return sum(tier.capacity_pages for tier in self.tiers)
 
+    def snapshot(self) -> dict:
+        """Pool state for a metrics snapshot: the stats counters with
+        per-tier entries re-keyed by tier name plus residency."""
+        snap = self.stats.snapshot()
+        for index, tier in enumerate(self.tiers):
+            tier_snap = snap.pop(f"tier.{index}", None)
+            if tier_snap is None:
+                tier_snap = self.stats.per_tier[index].snapshot()
+            tier_snap["resident"] = self.tier_residents(index)
+            tier_snap["capacity_pages"] = tier.capacity_pages
+            snap[f"tier.{tier.name}"] = tier_snap
+        return snap
+
     # -- pinning --------------------------------------------------------------
 
     def pin(self, page_id: PageId) -> None:
@@ -202,6 +261,13 @@ class TieredBufferPool:
             frame = self._frames[page_id]
             self.stats.misses += 1
             self.stats.fault_time_ns += latency
+            trace = self._trace
+            if trace.enabled:
+                # The clock advances by `latency` just below; the span
+                # covers exactly that charged interval.
+                now = self.clock.now
+                trace.emit_span("pool.fault", "pool", now, now + latency,
+                                {"page": page_id})
         else:
             tier = self.tiers[frame.tier_index]
             if write:
@@ -240,6 +306,10 @@ class TieredBufferPool:
             page, completion = self._fault_at(page_id, now_ns,
                                               is_scan=is_scan)
             frame = self._frames[page_id]
+            trace = self._trace
+            if trace.enabled:
+                trace.emit_span("pool.fault", "pool", now_ns, completion,
+                                {"page": page_id})
         else:
             tier = self.tiers[frame.tier_index]
             if write:
@@ -415,6 +485,14 @@ class TieredBufferPool:
         self.stats.migrations += 1
         if charge_migration_time:
             self.stats.migration_time_ns += elapsed
+        trace = self._trace
+        if trace.enabled:
+            now = self.clock.now
+            trace.emit_span(
+                "pool.demotion" if demotion else "pool.promotion",
+                "pool", now, now + elapsed,
+                {"page": page_id, "from": src.name, "to": dst.name},
+            )
         tier_stats = self.stats.per_tier[to_tier]
         if demotion:
             tier_stats.demotions_in += 1
@@ -440,6 +518,10 @@ class TieredBufferPool:
                 elapsed += self.backing.write_page(frame.page)
             frame.dirty = False
             self.stats.writebacks += 1
+        trace = self._trace
+        if trace.enabled:
+            now = self.clock.now
+            trace.emit_span("pool.flush_all", "pool", now, now + elapsed)
         self.clock.advance(elapsed)
         return elapsed
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from .. import config
 from ..errors import PoolingError
+from ..sim.context import SimContext
 from ..sim.interconnect import AccessPath, Link
 from ..sim.memory import MemoryDevice
 from ..sim.rdma import RDMAFabric
@@ -218,7 +219,8 @@ class ElasticCluster:
 
     def __init__(self, pool_capacity_bytes: int | None = None,
                  dataset_pages: int = 50_000,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE,
+                 ctx: SimContext | None = None) -> None:
         spec = config.cxl_expander_ddr5(
             capacity_bytes=pool_capacity_bytes or 64 * 1024 ** 3
         )
@@ -228,6 +230,14 @@ class ElasticCluster:
         self.backing = PageFile(self.storage, name="shared-tablespace")
         self.backing.allocate_pages(dataset_pages)
         self._slices: dict[str, PoolSlice] = {}
+        self.spawns = 0
+        self.warm_spawns = 0
+        self.detaches = 0
+        # Cluster-level accounting only; engines each get their own
+        # SimContext (and clock) when spawned.
+        self.ctx = ctx
+        if ctx is not None:
+            ctx.register("elastic", self)
 
     # -- slices -------------------------------------------------------------
 
@@ -267,7 +277,9 @@ class ElasticCluster:
         resident pages are immediately accessible — the warm-spawn
         path. Otherwise a fresh (cold) slice is carved.
         """
+        self.spawns += 1
         if warm_from is not None:
+            self.warm_spawns += 1
             slice_ = warm_from
             if slice_.owner in self._slices:
                 del self._slices[slice_.owner]
@@ -276,10 +288,20 @@ class ElasticCluster:
         else:
             slice_ = self.carve(name, slice_pages * self.page_size)
 
-        links: tuple[Link, ...] = (Link(config.cxl_port()),)
+        # Each engine gets its own instrumentation spine (and clock);
+        # the shared pool device stays cluster-owned and unregistered.
+        engine_ctx = SimContext.ambient()
+        links: tuple[Link, ...] = (
+            Link(config.cxl_port(), name=f"{name}-cxl-port",
+                 ctx=engine_ctx),
+        )
         if through_switch:
-            links += (Link(config.cxl_switch_hop()),)
-        dram = MemoryDevice(config.local_ddr5(), name=f"{name}-dram")
+            links += (
+                Link(config.cxl_switch_hop(), name=f"{name}-cxl-switch",
+                     ctx=engine_ctx),
+            )
+        dram = MemoryDevice(config.local_ddr5(), name=f"{name}-dram",
+                            ctx=engine_ctx)
         tiers = [
             Tier(name="dram", path=AccessPath(device=dram),
                  capacity_pages=local_pages),
@@ -290,6 +312,7 @@ class ElasticCluster:
         pool = TieredBufferPool(
             tiers=tiers, backing=self.backing,
             placement=DbCostPolicy(), page_size=self.page_size,
+            ctx=engine_ctx,
         )
         spawn_ns = self.ATTACH_OVERHEAD_NS
         for page_id in sorted(slice_.resident_pages):
@@ -308,6 +331,7 @@ class ElasticCluster:
         slice_.resident_pages = {
             page_id for page_id in engine.pool.resident_in(1)
         }
+        self.detaches += 1
         return slice_
 
     # -- migration ---------------------------------------------------------------------
@@ -325,6 +349,16 @@ class ElasticCluster:
             return 2 * self.ATTACH_OVERHEAD_NS
         net = fabric or self._default_fabric()
         return net.one_sided_read_time("dst", "src", state_bytes)
+
+    def snapshot(self) -> dict:
+        """Cluster accounting (metrics snapshot protocol)."""
+        return {
+            "slices": len(self._slices),
+            "spawns": self.spawns,
+            "warm_spawns": self.warm_spawns,
+            "detaches": self.detaches,
+            "pool_allocated_bytes": self.pool_device.allocated_bytes,
+        }
 
     @staticmethod
     def _default_fabric() -> RDMAFabric:

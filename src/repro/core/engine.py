@@ -13,6 +13,7 @@ from typing import Iterable
 
 from .. import config
 from ..errors import ConfigError
+from ..sim.context import SimContext
 from ..sim.interconnect import AccessPath, Link
 from ..sim.memory import MemoryDevice
 from ..storage.disk import StorageDevice
@@ -37,6 +38,9 @@ class EngineReport:
     tier_hit_rates: list[float] = field(default_factory=list)
     migrations: int = 0
     misses: int = 0
+    #: Hierarchical metrics snapshot taken when the run finished
+    #: (device/link/pool/... namespaces); purely observational.
+    metrics: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def mean_latency_ns(self) -> float:
@@ -121,9 +125,20 @@ class ConcurrentReport:
 class ScaleUpEngine:
     """A single-host database engine over tiered (CXL) memory."""
 
-    def __init__(self, pool: TieredBufferPool, name: str = "engine") -> None:
+    def __init__(self, pool: TieredBufferPool, name: str = "engine",
+                 ctx: SimContext | None = None) -> None:
         self.pool = pool
         self.name = name
+        # The engine shares its pool's instrumentation context; an
+        # explicitly passed context must BE the pool's (one spine, one
+        # clock, per run).
+        if ctx is not None and ctx is not pool.ctx:
+            raise ConfigError(
+                f"engine {name!r} was given a SimContext that is not"
+                " its pool's; build the pool with the same context"
+            )
+        self.ctx = pool.ctx
+        self.ctx.bind_clock(pool.clock, owner=f"engine:{name}")
 
     # -- constructors ------------------------------------------------------
 
@@ -140,6 +155,7 @@ class ScaleUpEngine:
         with_storage: bool = True,
         name: str = "engine",
         page_size: int = PAGE_SIZE,
+        ctx: SimContext | None = None,
     ) -> "ScaleUpEngine":
         """Build an engine with a DRAM tier and an optional CXL tier.
 
@@ -148,11 +164,19 @@ class ScaleUpEngine:
         ``with_storage`` (default) and no explicit *backing*, an NVMe
         page file backs the pool so misses hit storage, as in a
         disk-based engine.
+
+        *ctx* is the instrumentation spine threaded into every device,
+        link, and the pool; omitted, a fresh one is created (picking
+        up any ambient trace sink / metrics registry, see
+        :func:`repro.sim.context.set_ambient`) so each engine stays
+        independently clocked.
         """
         if dram_pages <= 0:
             raise ConfigError("dram_pages must be positive")
+        if ctx is None:
+            ctx = SimContext.ambient()
         dram_device = MemoryDevice(
-            dram_spec or config.local_ddr5(), name=f"{name}-dram"
+            dram_spec or config.local_ddr5(), name=f"{name}-dram", ctx=ctx
         )
         tiers = [Tier(
             name="dram",
@@ -161,11 +185,17 @@ class ScaleUpEngine:
         )]
         if cxl_pages > 0:
             cxl_device = MemoryDevice(
-                cxl_spec or config.cxl_expander_ddr5(), name=f"{name}-cxl"
+                cxl_spec or config.cxl_expander_ddr5(), name=f"{name}-cxl",
+                ctx=ctx,
             )
-            links: tuple[Link, ...] = (Link(config.cxl_port()),)
+            links: tuple[Link, ...] = (
+                Link(config.cxl_port(), name=f"{name}-cxl-port", ctx=ctx),
+            )
             if through_switch:
-                links += (Link(config.cxl_switch_hop()),)
+                links += (
+                    Link(config.cxl_switch_hop(),
+                         name=f"{name}-cxl-switch", ctx=ctx),
+                )
             tiers.append(Tier(
                 name="cxl",
                 path=AccessPath(device=cxl_device, links=links),
@@ -179,6 +209,7 @@ class ScaleUpEngine:
             placement=placement or DbCostPolicy(),
             tracker=ExactTracker(),
             page_size=page_size,
+            ctx=ctx,
         )
         return cls(pool, name=name)
 
@@ -193,6 +224,7 @@ class ScaleUpEngine:
         """
         pool = self.pool
         clock = pool.clock
+        ctx = self.ctx
         start_ns = clock.now
         start_accesses = pool.stats.accesses
         start_misses = pool.stats.misses
@@ -200,17 +232,18 @@ class ScaleUpEngine:
         demand_ns = 0.0
         think_ns = 0.0
         ops = 0
-        for access in trace:
-            if access.think_ns:
-                clock.advance(access.think_ns)
-                think_ns += access.think_ns
-            demand_ns += pool.access(
-                access.page_id,
-                nbytes=access.nbytes,
-                write=access.write,
-                is_scan=access.is_scan,
-            )
-            ops += 1
+        with ctx.span(f"run:{label or self.name}", cat="engine"):
+            for access in trace:
+                if access.think_ns:
+                    clock.advance(access.think_ns)
+                    think_ns += access.think_ns
+                demand_ns += pool.access(
+                    access.page_id,
+                    nbytes=access.nbytes,
+                    write=access.write,
+                    is_scan=access.is_scan,
+                )
+                ops += 1
         stats = pool.stats
         window = stats.accesses - start_accesses
         report = EngineReport(
@@ -229,6 +262,12 @@ class ScaleUpEngine:
                 if stats.accesses else 0.0
                 for i in range(len(pool.tiers))
             ]
+        metrics = ctx.metrics
+        metrics.incr("engine.runs")
+        metrics.incr("engine.ops", ops)
+        if report.total_ns > 0:
+            metrics.observe("engine.run_ns", report.total_ns)
+        report.metrics = metrics.snapshot()
         return report
 
     def run_concurrent(self, traces: list[Iterable[Access]],
@@ -256,6 +295,7 @@ class ScaleUpEngine:
             heap.append((0.0, thread))
         heapq.heapify(heap)
         thread_end = [0.0] * len(traces)
+        run_start_ns = pool.clock.now
         while heap:
             now, thread = heapq.heappop(heap)
             try:
@@ -279,6 +319,15 @@ class ScaleUpEngine:
         report.makespan_ns = max(thread_end)
         if pool.clock.now < report.makespan_ns:
             pool.clock.advance_to(report.makespan_ns)
+        ctx = self.ctx
+        if ctx.trace.enabled:
+            ctx.trace.emit_span(
+                f"run-concurrent:{report.name}", "engine",
+                run_start_ns, pool.clock.now,
+                {"threads": report.threads, "ops": report.ops},
+            )
+        ctx.metrics.incr("engine.concurrent_runs")
+        ctx.metrics.incr("engine.ops", report.ops)
         return report
 
     def warm_with(self, trace: Iterable[Access]) -> None:

@@ -8,9 +8,14 @@ from ..errors import BufferPoolError
 from ..storage.page import Page
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
-    """One page resident in one tier of the buffer pool."""
+    """One page resident in one tier of the buffer pool.
+
+    ``slots=True``: one Frame exists per resident page and is touched
+    on every access, so the slotted layout saves a per-frame dict and
+    keeps attribute loads on the hot path cheap.
+    """
 
     page: Page
     tier_index: int

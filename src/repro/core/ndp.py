@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..sim.context import SimContext
 from ..sim.interconnect import AccessPath
 from ..units import GBPS, PAGE_SIZE, transfer_time_ns
 
@@ -58,7 +59,8 @@ class NDPController:
     def __init__(self, path: AccessPath,
                  scan_rate: float = 100.0 * GBPS,
                  op_latency_ns: float = 1_000.0,
-                 host_scan_rate: float = 80.0 * GBPS) -> None:
+                 host_scan_rate: float = 80.0 * GBPS,
+                 ctx: SimContext | None = None) -> None:
         if scan_rate <= 0 or host_scan_rate <= 0:
             raise ConfigError("scan rates must be positive")
         self.path = path
@@ -67,6 +69,13 @@ class NDPController:
         self.host_scan_rate = host_scan_rate
         #: Internal bandwidth: the device's raw DRAM channels.
         self.internal_bandwidth = path.device.spec.peak_bandwidth
+        self.host_queries = 0
+        self.offload_queries = 0
+        self.fabric_bytes_shipped = 0
+        self.bytes_scanned = 0
+        self.ctx = ctx
+        if ctx is not None:
+            ctx.register("ndp", self)
 
     # -- host-side baseline -----------------------------------------------------
 
@@ -79,6 +88,9 @@ class NDPController:
         transfer = transfer_time_ns(total, self.path.read_bandwidth)
         compute = transfer_time_ns(total, self.host_scan_rate)
         time_ns = self.path.read_latency_ns() + max(transfer, compute)
+        self.host_queries += 1
+        self.fabric_bytes_shipped += total
+        self.bytes_scanned += total
         return OffloadResult(
             time_ns=time_ns, fabric_bytes=total, compute_bytes=total
         )
@@ -100,6 +112,9 @@ class NDPController:
         ) if result_bytes else 0.0
         time_ns = self.op_latency_ns + max(scan, shipping) \
             + self.path.read_latency_ns()
+        self.offload_queries += 1
+        self.fabric_bytes_shipped += result_bytes
+        self.bytes_scanned += total
         return OffloadResult(
             time_ns=time_ns, fabric_bytes=result_bytes, compute_bytes=total
         )
@@ -153,6 +168,16 @@ class NDPController:
             if t < best_t:
                 best_f, best_t = fraction, t
         return best_f
+
+    def snapshot(self) -> dict:
+        """Controller accounting (metrics snapshot protocol)."""
+        return {
+            "host_queries": self.host_queries,
+            "offload_queries": self.offload_queries,
+            "fabric_bytes_shipped": self.fabric_bytes_shipped,
+            "bytes_scanned": self.bytes_scanned,
+            "scan_rate_bytes_per_ns": self.scan_rate,
+        }
 
     @staticmethod
     def _check(num_pages: int, selectivity: float) -> None:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ConfigError, TransactionError
+from ..sim.context import SimContext
 from ..units import SECOND
 from ..workloads.tpcc import RecordOp, Transaction
 from .locks import LockMode
@@ -141,7 +142,8 @@ class TwoPhaseLockingExecutor:
 
     def __init__(self, cost_model: CostModel, threads: int = 8,
                  lock_key: LockKeyFn = default_lock_key,
-                 name: str = "2pl") -> None:
+                 name: str = "2pl",
+                 ctx: SimContext | None = None) -> None:
         if threads <= 0:
             raise ConfigError("need at least one thread")
         self.cost_model = cost_model
@@ -149,6 +151,10 @@ class TwoPhaseLockingExecutor:
         self.lock_key = lock_key
         self.name = name
         self.lock_table = TimedLockTable()
+        self.ctx = ctx
+        self._last_report: OLTPReport | None = None
+        if ctx is not None:
+            ctx.register(f"oltp.{name}", self)
 
     def execute(self, transactions: list[Transaction]) -> OLTPReport:
         """Schedule all transactions; returns the run report."""
@@ -178,7 +184,33 @@ class TwoPhaseLockingExecutor:
             if prune_counter % 512 == 0:
                 table.prune(min(thread_clock))
         report.makespan_ns = max(thread_clock)
+        self._last_report = report
+        ctx = self.ctx
+        if ctx is not None:
+            if ctx.trace.enabled:
+                ctx.trace.emit_span(
+                    f"oltp:{self.name}", "txn", 0.0, report.makespan_ns,
+                    {"transactions": report.transactions,
+                     "threads": report.threads},
+                )
+            ctx.metrics.incr(f"oltp.{self.name}.executions")
         return report
+
+    def snapshot(self) -> dict:
+        """Scheduler accounting (metrics snapshot protocol)."""
+        snap: dict = {
+            "threads": self.threads,
+            "lock_waits": self.lock_table.waits,
+            "lock_wait_time_ns": self.lock_table.wait_time_ns,
+        }
+        report = self._last_report
+        if report is not None:
+            snap["transactions"] = report.transactions
+            snap["makespan_ns"] = report.makespan_ns
+            snap["busy_ns"] = report.busy_ns
+            snap["remote_ops"] = report.remote_ops
+            snap["distributed_txns"] = report.distributed_txns
+        return snap
 
     def _lock_set(self, txn: Transaction) -> list[tuple[object, LockMode]]:
         keys: dict[object, LockMode] = {}

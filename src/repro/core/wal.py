@@ -23,6 +23,7 @@ from typing import Callable, Protocol
 from .. import config
 from ..errors import ConfigError
 from ..metrics.stats import StreamingStats
+from ..sim.context import SimContext
 from ..sim.interconnect import AccessPath, Link
 from ..sim.memory import MemoryDevice
 from ..sim.rdma import RDMAFabric
@@ -134,7 +135,8 @@ class WriteAheadLog:
     commit latency is accumulated in :attr:`commit_latency`.
     """
 
-    def __init__(self, backend: LogBackend, group_size: int = 8) -> None:
+    def __init__(self, backend: LogBackend, group_size: int = 8,
+                 ctx: SimContext | None = None) -> None:
         if group_size <= 0:
             raise ConfigError("group_size must be positive")
         self.backend = backend
@@ -145,6 +147,9 @@ class WriteAheadLog:
         self.bytes_forced = 0
         self._batch: list[CommitRecord] = []
         self._device_free_ns = 0.0
+        self.ctx = ctx
+        if ctx is not None:
+            ctx.register(f"wal.{backend.name}", self)
 
     def append(self, record_bytes: int, now_ns: float) -> float | None:
         """Append a record at *now_ns*.
@@ -173,8 +178,28 @@ class WriteAheadLog:
         self.bytes_forced += batch_bytes
         for record in self._batch:
             self.commit_latency.add(done - record.arrival_ns)
+        if self.ctx is not None and self.ctx.trace.enabled:
+            self.ctx.trace.emit_span(
+                "wal.force", "wal", start, done,
+                {"backend": self.backend.name, "bytes": batch_bytes,
+                 "records": len(self._batch)},
+            )
         self._batch.clear()
         return done
+
+    def snapshot(self) -> dict:
+        """Log accounting (metrics snapshot protocol)."""
+        latency = self.commit_latency
+        snap: dict = {
+            "forces": self.forces,
+            "records": self.records,
+            "bytes_forced": self.bytes_forced,
+            "pending": self.pending,
+        }
+        if latency.count:
+            snap["commit_latency_mean_ns"] = latency.mean
+            snap["commit_latency_max_ns"] = latency.max
+        return snap
 
     @property
     def pending(self) -> int:

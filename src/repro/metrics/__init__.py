@@ -1,14 +1,33 @@
-"""Measurement utilities: streaming statistics, histograms, reports."""
+"""Measurement utilities: streaming statistics, histograms, reports.
+
+The hierarchical :class:`MetricsRegistry` is the accounting half of
+the :class:`repro.sim.context.SimContext` instrumentation spine;
+:class:`CounterRegistry` is its legacy flat facade.
+"""
 
 from .counters import CounterRegistry
-from .report import Table, fmt_ratio
+from .registry import (
+    MetricsRegistry,
+    ScopedMetrics,
+    SnapshotProvider,
+    flatten,
+    nest,
+)
+from .report import Table, fmt_ratio, latency_breakdown, metrics_table
 from .stats import Histogram, StreamingStats, percentile
 
 __all__ = [
     "CounterRegistry",
     "Histogram",
+    "MetricsRegistry",
+    "ScopedMetrics",
+    "SnapshotProvider",
     "StreamingStats",
     "Table",
+    "flatten",
     "fmt_ratio",
+    "latency_breakdown",
+    "metrics_table",
+    "nest",
     "percentile",
 ]

@@ -1,41 +1,54 @@
-"""Named counter registry shared by engine components."""
+"""Flat counter facade (legacy API).
+
+:class:`CounterRegistry` predates the hierarchical
+:class:`~repro.metrics.registry.MetricsRegistry` and is kept as a thin
+flat-namespace facade over one, so old call sites and tests keep
+working while all accounting lives in a single implementation. New
+code should use :class:`~repro.metrics.registry.MetricsRegistry`
+(usually via :class:`repro.sim.context.SimContext`).
+"""
 
 from __future__ import annotations
 
-from collections import defaultdict
+from .registry import MetricsRegistry
 
 
 class CounterRegistry:
-    """A flat namespace of integer counters."""
+    """A flat namespace of integer counters over a MetricsRegistry."""
 
-    def __init__(self) -> None:
-        self._counters: defaultdict[str, int] = defaultdict(int)
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None \
+            else MetricsRegistry()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing hierarchical registry."""
+        return self._registry
 
     def incr(self, name: str, by: int = 1) -> int:
         """Increment a counter; returns the new value."""
-        self._counters[name] += by
-        return self._counters[name]
+        return int(self._registry.incr(name, by))
 
     def get(self, name: str) -> int:
         """Current value of a counter (0 if never touched)."""
-        return self._counters.get(name, 0)
+        return int(self._registry.get(name))
 
     def reset(self, name: str | None = None) -> None:
         """Zero one counter, or all of them."""
-        if name is None:
-            self._counters.clear()
-        else:
-            self._counters.pop(name, None)
+        self._registry.reset(name)
 
     def snapshot(self) -> dict[str, int]:
-        """A copy of every counter."""
-        return dict(self._counters)
+        """A copy of every counter (flat)."""
+        return {k: int(v) for k, v in
+                self._registry.counters_flat().items()}
 
     def __getitem__(self, name: str) -> int:
         return self.get(name)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._counters
+        return name in self._registry.counters_flat()
 
     def __repr__(self) -> str:
-        return f"CounterRegistry({dict(self._counters)!r})"
+        return f"CounterRegistry({self.snapshot()!r})"

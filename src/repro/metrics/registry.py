@@ -1,0 +1,262 @@
+"""Hierarchical metrics: namespaced counters, gauges, and histograms.
+
+:class:`MetricsRegistry` is the accounting half of the instrumentation
+spine (:mod:`repro.sim.context`). Instruments are addressed by dotted
+names (``"device.dram0.loads"``); :meth:`MetricsRegistry.snapshot`
+returns them as a nested dict, so one engine run can be inspected as::
+
+    {"device": {"dram0": {"loads": 812, ...}}, "pool": {...}, ...}
+
+Components that already keep their own stats dataclass do not copy
+counters into the registry on the hot path — they *register* as a
+snapshot provider (any object with a ``snapshot() -> dict`` method)
+and are folded in lazily when a snapshot is taken. This keeps the
+per-access cost of metrics at zero while still producing one unified
+report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from .stats import Histogram
+
+
+@runtime_checkable
+class SnapshotProvider(Protocol):
+    """Anything that can report its state as a flat-ish dict."""
+
+    def snapshot(self) -> dict:
+        """Current state as a (possibly nested) dict of plain values."""
+        ...  # pragma: no cover
+
+
+def nest(flat: dict[str, Any]) -> dict[str, Any]:
+    """Fold a dotted-name flat dict into a nested dict.
+
+    A name that is both a leaf and a prefix keeps its leaf value under
+    the reserved key ``"_"`` (e.g. ``{"a": 1, "a.b": 2}`` becomes
+    ``{"a": {"_": 1, "b": 2}}``).
+    """
+    tree: dict[str, Any] = {}
+    for name, value in flat.items():
+        node = tree
+        parts = name.split(".")
+        for part in parts[:-1]:
+            child = node.get(part)
+            if not isinstance(child, dict):
+                fresh: dict[str, Any] = {}
+                if part in node:
+                    fresh["_"] = node[part]
+                node[part] = fresh
+                child = fresh
+            node = child
+        leaf = parts[-1]
+        if isinstance(node.get(leaf), dict):
+            node[leaf]["_"] = value
+        else:
+            node[leaf] = value
+    return tree
+
+
+def flatten(tree: dict[str, Any], prefix: str = "") -> dict[str, Any]:
+    """Inverse of :func:`nest`: nested dict -> dotted flat dict."""
+    flat: dict[str, Any] = {}
+    for key, value in tree.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten(value, name))
+        else:
+            flat[name] = value
+    return flat
+
+
+def _histogram_summary(hist: Histogram) -> dict[str, float]:
+    stats = hist.stats
+    if stats.count == 0:
+        return {"count": 0}
+    return {
+        "count": stats.count,
+        "total": stats.total,
+        "mean": stats.mean,
+        "min": stats.min,
+        "max": stats.max,
+        "p50": hist.quantile(0.50),
+        "p95": hist.quantile(0.95),
+        "p99": hist.quantile(0.99),
+    }
+
+
+class MetricsRegistry:
+    """Namespaced counters + gauges + histograms + snapshot providers."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_providers")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, Any] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._providers: dict[str, SnapshotProvider] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def incr(self, name: str, by: float = 1) -> float:
+        """Increment a counter; returns the new value."""
+        value = self._counters.get(name, 0) + by
+        self._counters[name] = value
+        return value
+
+    def get(self, name: str) -> float:
+        """Current value of a counter (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    # -- gauges --------------------------------------------------------
+
+    def set_gauge(self, name: str, value: Any) -> None:
+        """Set a gauge to a value, or to a zero-arg callable that is
+        resolved at snapshot time (a *live* gauge)."""
+        self._gauges[name] = value
+
+    def gauge(self, name: str) -> Any:
+        """Resolved current value of a gauge (None if unset)."""
+        value = self._gauges.get(name)
+        return value() if callable(value) else value
+
+    # -- histograms ----------------------------------------------------
+
+    def histogram(self, name: str, base: float = 1.0,
+                  growth: float = 1.25) -> Histogram:
+        """Get-or-create the histogram registered under *name*."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram(base=base, growth=growth)
+            self._histograms[name] = hist
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram *name*."""
+        self.histogram(name).add(value)
+
+    # -- providers -----------------------------------------------------
+
+    def register(self, namespace: str, provider: SnapshotProvider) -> str:
+        """Attach a snapshot provider under *namespace*.
+
+        If the namespace is already taken (two engines sharing one
+        registry, say) a numeric suffix is appended; the namespace
+        actually used is returned.
+        """
+        chosen = namespace
+        n = 1
+        while chosen in self._providers:
+            if self._providers[chosen] is provider:
+                return chosen
+            n += 1
+            chosen = f"{namespace}.{n}"
+        self._providers[chosen] = provider
+        return chosen
+
+    def unregister(self, namespace: str) -> None:
+        """Detach a provider (no-op if absent)."""
+        self._providers.pop(namespace, None)
+
+    # -- scoping -------------------------------------------------------
+
+    def scope(self, prefix: str) -> "ScopedMetrics":
+        """A view of this registry with every name prefixed."""
+        return ScopedMetrics(self, prefix)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def reset(self, name: str | None = None) -> None:
+        """Zero one instrument, or every instrument.
+
+        Providers stay registered — they own their state; resetting a
+        registry only clears what the registry itself accumulated.
+        """
+        if name is None:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+        else:
+            self._counters.pop(name, None)
+            self._gauges.pop(name, None)
+            self._histograms.pop(name, None)
+
+    # -- snapshots -----------------------------------------------------
+
+    def counters_flat(self) -> dict[str, float]:
+        """A copy of just the counters, flat."""
+        return dict(self._counters)
+
+    def flat_snapshot(self) -> dict[str, Any]:
+        """Everything as one dotted-name flat dict (a copy)."""
+        flat: dict[str, Any] = dict(self._counters)
+        for name, value in self._gauges.items():
+            flat[name] = value() if callable(value) else value
+        for name, hist in self._histograms.items():
+            for stat, v in _histogram_summary(hist).items():
+                flat[f"{name}.{stat}"] = v
+        for namespace, provider in self._providers.items():
+            provided = provider.snapshot()
+            for key, value in flatten(provided, namespace).items():
+                flat[key] = value
+        return flat
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything as a nested (hierarchical) dict — an isolated
+        copy; mutating it does not touch the registry."""
+        return nest(self.flat_snapshot())
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)},"
+            f" gauges={len(self._gauges)},"
+            f" histograms={len(self._histograms)},"
+            f" providers={len(self._providers)})"
+        )
+
+
+class ScopedMetrics:
+    """A prefixing facade over a :class:`MetricsRegistry`."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    def _name(self, name: str) -> str:
+        return f"{self._prefix}.{name}" if self._prefix else name
+
+    def incr(self, name: str, by: float = 1) -> float:
+        """Increment a counter under this scope."""
+        return self._registry.incr(self._name(name), by)
+
+    def get(self, name: str) -> float:
+        """Read a counter under this scope."""
+        return self._registry.get(self._name(name))
+
+    def set_gauge(self, name: str, value: Any) -> None:
+        """Set a gauge under this scope."""
+        self._registry.set_gauge(self._name(name), value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a histogram sample under this scope."""
+        self._registry.observe(self._name(name), value)
+
+    def histogram(self, name: str, base: float = 1.0,
+                  growth: float = 1.25) -> Histogram:
+        """Get-or-create a histogram under this scope."""
+        return self._registry.histogram(self._name(name), base, growth)
+
+    def register(self, namespace: str, provider: SnapshotProvider) -> str:
+        """Register a provider under this scope."""
+        return self._registry.register(self._name(namespace), provider)
+
+    def scope(self, prefix: str) -> "ScopedMetrics":
+        """A deeper scope."""
+        return ScopedMetrics(self._registry, self._name(prefix))
+
+    def __repr__(self) -> str:
+        return f"ScopedMetrics({self._prefix!r} -> {self._registry!r})"

@@ -70,3 +70,44 @@ def _fmt(value: Any) -> str:
     if isinstance(value, int):
         return f"{value:,}"
     return str(value)
+
+
+# -- metrics-snapshot rendering ------------------------------------------
+
+def latency_breakdown(snapshot: dict,
+                      title: str = "virtual-time breakdown") -> Table:
+    """Where the virtual nanoseconds went, per component.
+
+    Walks a hierarchical metrics snapshot (see
+    :meth:`repro.metrics.registry.MetricsRegistry.snapshot`), selects
+    every time-valued leaf (``*_ns``) and renders one aligned row per
+    component/metric pair, sorted by descending time so the dominant
+    consumer tops the table.
+    """
+    from ..units import fmt_ns
+    from .registry import flatten as _flatten
+
+    rows: list[tuple[str, str, float]] = []
+    for name, value in _flatten(snapshot).items():
+        if not name.endswith("_ns") or not isinstance(value, (int, float)):
+            continue
+        if value == 0:  # zero rows are noise in a breakdown
+            continue
+        component, _, metric = name.rpartition(".")
+        rows.append((component or "(root)", metric, float(value)))
+    rows.sort(key=lambda row: -row[2])
+    table = Table(title, ["component", "metric", "time"])
+    for component, metric, value in rows:
+        table.add_row(component, metric, fmt_ns(value))
+    return table
+
+
+def metrics_table(snapshot: dict, title: str = "metrics") -> Table:
+    """Every leaf of a hierarchical snapshot as name/value rows."""
+    from .registry import flatten as _flatten
+
+    flat = _flatten(snapshot)
+    table = Table(title, ["metric", "value"])
+    for name in sorted(flat):
+        table.add_row(name, flat[name])
+    return table

@@ -49,10 +49,26 @@ class Operator(Protocol):
 
 def collect(op: "Operator", engine: ScaleUpEngine
             ) -> tuple[list[tuple], float]:
-    """Run an operator to completion; returns (rows, elapsed ns)."""
+    """Run an operator to completion; returns (rows, elapsed ns).
+
+    Also the instrumentation chokepoint for the query layer: the run
+    is wrapped in a trace span and accounted under the
+    ``operator.<ClassName>`` metrics namespace, without touching the
+    per-row loops inside the operators themselves.
+    """
+    ctx = engine.ctx
+    name = type(op).__name__
     start = engine.pool.clock.now
-    out = list(op.rows(engine))
-    return out, engine.pool.clock.now - start
+    with ctx.span(f"operator:{name}", cat="query"):
+        out = list(op.rows(engine))
+    elapsed = engine.pool.clock.now - start
+    scope = ctx.metrics.scope(f"operator.{name}")
+    scope.incr("invocations")
+    scope.incr("rows", len(out))
+    scope.incr("total_ns", elapsed)
+    if elapsed > 0:
+        scope.observe("time_ns", elapsed)
+    return out, elapsed
 
 
 class TableScan:

@@ -6,35 +6,59 @@ This subpackage models the rack the paper assumes: memory devices
 (:mod:`repro.sim.topology`), directory-based coherence
 (:mod:`repro.sim.coherence`), NUMA systems (:mod:`repro.sim.numa`), the
 RDMA baseline fabric (:mod:`repro.sim.rdma`), failure/RAS behaviour
-(:mod:`repro.sim.ras`), and a discrete-event core
-(:mod:`repro.sim.clock`, :mod:`repro.sim.events`).
+(:mod:`repro.sim.ras`), a discrete-event core
+(:mod:`repro.sim.clock`, :mod:`repro.sim.events`), and the
+instrumentation spine (:mod:`repro.sim.context`,
+:mod:`repro.sim.trace`) that unifies timing and accounting.
 """
 
 from .address import AddressSpace, Region
 from .bandwidth import SharedChannel
 from .clock import SimClock
+from .context import SimContext, ambient_instrumentation, set_ambient
 from .events import Event, Simulator
 from .interconnect import AccessPath, Link
 from .interleave import InterleaveSet
 from .memory import MemoryDevice
 from .numa import NUMANode, NUMASystem
 from .topology import CXLSwitch, Host, MemoryPoolDevice, RackTopology
+from .trace import (
+    NULL_SINK,
+    ChromeTraceSink,
+    JsonLinesTraceSink,
+    MemoryTraceSink,
+    NullTraceSink,
+    SpanRecord,
+    TraceSink,
+    sink_for_path,
+)
 
 __all__ = [
     "AccessPath",
     "AddressSpace",
     "CXLSwitch",
+    "ChromeTraceSink",
     "Event",
     "Host",
     "InterleaveSet",
+    "JsonLinesTraceSink",
     "Link",
     "MemoryDevice",
     "MemoryPoolDevice",
+    "MemoryTraceSink",
+    "NULL_SINK",
     "NUMANode",
     "NUMASystem",
+    "NullTraceSink",
     "RackTopology",
     "Region",
     "SharedChannel",
     "SimClock",
+    "SimContext",
     "Simulator",
+    "SpanRecord",
+    "TraceSink",
+    "ambient_instrumentation",
+    "set_ambient",
+    "sink_for_path",
 ]

@@ -68,5 +68,13 @@ class SharedChannel:
         self._bytes = 0
         self._busy_ns = 0.0
 
+    def snapshot(self) -> dict:
+        """Accounting as a dict (metrics snapshot protocol)."""
+        return {
+            "bytes": self._bytes,
+            "busy_ns": self._busy_ns,
+            "bandwidth_bytes_per_ns": self.bandwidth,
+        }
+
     def __repr__(self) -> str:
         return f"SharedChannel({self.name!r}, bw={self.bandwidth:.2f}B/ns)"

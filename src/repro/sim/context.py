@@ -1,0 +1,186 @@
+"""The instrumentation spine: one clock, one metrics tree, one trace.
+
+A :class:`SimContext` bundles the three cross-cutting concerns every
+simulated component needs:
+
+* the **virtual clock** (:class:`~repro.sim.clock.SimClock`) — shared,
+  never constructed ad-hoc by components that received a context;
+* a hierarchical :class:`~repro.metrics.registry.MetricsRegistry` —
+  components register themselves as snapshot providers under dotted
+  namespaces (``device.*``, ``link.*``, ``pool``, ``operator.*``, ...)
+  so a single :meth:`snapshot` answers "where did the nanoseconds go";
+* a pluggable :class:`~repro.sim.trace.TraceSink` recording spans and
+  events in *virtual* time (the no-op :data:`~repro.sim.trace.NULL_SINK`
+  by default, so disabled tracing is free on hot paths).
+
+Every layer accepts an optional ``ctx``; when omitted, a private
+context is created so existing call sites keep working unchanged. The
+clock-uniqueness invariant is enforced by :meth:`SimContext.bind_clock`:
+a component that *uses* a clock while holding a context must bind it,
+and binding any clock other than the context's own raises.
+
+Ambient instrumentation (:func:`set_ambient`) lets the CLI hand a
+trace sink and metrics registry to engines it never constructs
+directly: ``SimContext.ambient()`` picks them up while still giving
+each engine its own clock (so simulated results are unaffected).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..metrics.registry import MetricsRegistry
+from .clock import SimClock
+from .trace import NULL_SINK, TraceSink
+
+
+class _NoopSpan:
+    """Context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """An open span: reads the virtual clock on enter and exit."""
+
+    __slots__ = ("_ctx", "_name", "_cat", "_args", "_start")
+
+    def __init__(self, ctx: "SimContext", name: str, cat: str,
+                 args: dict | None) -> None:
+        self._ctx = ctx
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._ctx.clock.now
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        ctx = self._ctx
+        ctx.trace.emit_span(self._name, self._cat, self._start,
+                            ctx.clock.now, self._args)
+        return False
+
+
+class SimContext:
+    """Clock + metrics + trace, threaded through every layer."""
+
+    __slots__ = ("clock", "metrics", "trace", "_clock_owners")
+
+    def __init__(self, clock: SimClock | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 trace: TraceSink | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else NULL_SINK
+        self._clock_owners: list[str] = []
+
+    @classmethod
+    def ambient(cls, clock: SimClock | None = None) -> "SimContext":
+        """A context wired to the ambient sink/metrics (see
+        :func:`set_ambient`) but with its own fresh clock unless one
+        is passed — engines stay independently timed."""
+        return cls(clock=clock, metrics=_ambient_metrics,
+                   trace=_ambient_trace)
+
+    # -- the clock invariant -------------------------------------------
+
+    def bind_clock(self, clock: SimClock, owner: str = "") -> SimClock:
+        """Assert that *clock* IS this context's clock and record the
+        binding. Components that time themselves against a context
+        must bind, so a run provably uses exactly one clock."""
+        if clock is not self.clock:
+            owners = ", ".join(self._clock_owners) or "none yet"
+            raise SimulationError(
+                f"{owner or 'component'} would introduce a second clock"
+                f" into this SimContext (bound so far: {owners});"
+                " a run must use exactly one clock"
+            )
+        self._clock_owners.append(owner or "component")
+        return clock
+
+    @property
+    def clock_owners(self) -> tuple[str, ...]:
+        """Components that bound (asserted) the shared clock."""
+        return tuple(self._clock_owners)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in ns."""
+        return self.clock.now
+
+    # -- tracing -------------------------------------------------------
+
+    def span(self, name: str, cat: str = "sim",
+             args: dict | None = None) -> object:
+        """A ``with``-able span over virtual time.
+
+        When tracing is disabled this returns a shared no-op context
+        manager — no allocation, no clock reads.
+        """
+        if not self.trace.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, cat, args)
+
+    def event(self, name: str, cat: str = "sim",
+              args: dict | None = None) -> None:
+        """Emit an instant event at the current virtual time."""
+        trace = self.trace
+        if trace.enabled:
+            trace.emit_instant(name, cat, self.clock.now, args)
+
+    # -- metrics -------------------------------------------------------
+
+    def register(self, namespace: str, provider: object) -> str:
+        """Register a snapshot provider; returns the namespace used."""
+        return self.metrics.register(namespace, provider)
+
+    def snapshot(self) -> dict:
+        """The hierarchical metrics snapshot for this context."""
+        return self.metrics.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimContext(now={self.clock.now:.1f}ns,"
+            f" trace={'on' if self.trace.enabled else 'off'},"
+            f" owners={len(self._clock_owners)})"
+        )
+
+
+# -- ambient instrumentation (sink/metrics only, never a clock) ----------
+
+_ambient_trace: TraceSink | None = None
+_ambient_metrics: MetricsRegistry | None = None
+
+
+def set_ambient(trace: TraceSink | None = None,
+                metrics: MetricsRegistry | None = None
+                ) -> tuple[TraceSink | None, MetricsRegistry | None]:
+    """Install process-wide default instrumentation.
+
+    Contexts created via :meth:`SimContext.ambient` (which is what
+    :meth:`repro.core.engine.ScaleUpEngine.build` uses when no context
+    is passed) adopt these. Returns the previous pair so callers can
+    restore it. Pass ``(None, None)`` to clear.
+    """
+    global _ambient_trace, _ambient_metrics
+    previous = (_ambient_trace, _ambient_metrics)
+    _ambient_trace = trace
+    _ambient_metrics = metrics
+    return previous
+
+
+def ambient_instrumentation() -> tuple[TraceSink | None,
+                                       MetricsRegistry | None]:
+    """The currently installed ambient (trace, metrics) pair."""
+    return (_ambient_trace, _ambient_metrics)

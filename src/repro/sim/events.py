@@ -15,10 +15,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import SimulationError
 from .clock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SimContext
 
 
 @dataclass(order=True)
@@ -39,8 +42,16 @@ class Event:
 class Simulator:
     """A deterministic discrete-event loop over virtual nanoseconds."""
 
-    def __init__(self, start_ns: float = 0.0) -> None:
-        self.clock = SimClock(start_ns)
+    def __init__(self, start_ns: float = 0.0,
+                 ctx: "SimContext | None" = None) -> None:
+        # With a context, the simulator drives the *shared* clock
+        # instead of constructing a private one (one clock per run).
+        if ctx is not None:
+            self.clock = ctx.bind_clock(ctx.clock, owner="simulator")
+            if start_ns > self.clock.now:
+                self.clock.advance_to(start_ns)
+        else:
+            self.clock = SimClock(start_ns)
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._dispatched = 0

@@ -14,6 +14,7 @@ the full slot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..config import LinkSpec
 from ..errors import ConfigError
@@ -21,14 +22,29 @@ from ..units import CACHE_LINE, transfer_time_ns
 from .bandwidth import SharedChannel
 from .memory import MemoryDevice
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SimContext
+
 
 class Link:
     """A single interconnect hop with shared-bandwidth accounting."""
 
-    def __init__(self, spec: LinkSpec, name: str | None = None) -> None:
+    def __init__(self, spec: LinkSpec, name: str | None = None,
+                 ctx: "SimContext | None" = None) -> None:
         self.spec = spec
         self.name = name or spec.name
         self.channel = SharedChannel(self.name, spec.raw_bandwidth)
+        if ctx is not None:
+            ctx.register(f"link.{self.name}", self)
+
+    def snapshot(self) -> dict:
+        """Link state for a metrics snapshot."""
+        return {
+            "latency_ns": self.spec.latency_ns,
+            "protocol_efficiency": self.spec.protocol_efficiency,
+            "bytes": self.channel.bytes_transferred,
+            "busy_ns": self.channel.busy_time_ns,
+        }
 
     @property
     def latency_ns(self) -> float:

@@ -16,11 +16,15 @@ three responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..config import MemoryKind, MemorySpec
 from ..errors import AddressError, ConfigError, DeviceFailure
 from ..units import CACHE_LINE, transfer_time_ns
 from .bandwidth import SharedChannel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SimContext
 
 
 @dataclass
@@ -42,11 +46,21 @@ class MemoryStats:
         """Total payload bytes moved."""
         return self.load_bytes + self.store_bytes
 
+    def snapshot(self) -> dict:
+        """Counters as a dict (metrics snapshot protocol)."""
+        return {
+            "loads": self.loads,
+            "stores": self.stores,
+            "load_bytes": self.load_bytes,
+            "store_bytes": self.store_bytes,
+        }
+
 
 class MemoryDevice:
     """One memory device (DIMM group, CXL expander, NVM module)."""
 
-    def __init__(self, spec: MemorySpec, name: str | None = None) -> None:
+    def __init__(self, spec: MemorySpec, name: str | None = None,
+                 ctx: "SimContext | None" = None) -> None:
         self.spec = spec
         self.name = name or spec.name
         self.stats = MemoryStats()
@@ -55,6 +69,8 @@ class MemoryDevice:
         # First-fit free list: sorted list of (offset, size) holes.
         self._holes: list[tuple[int, int]] = [(0, spec.capacity_bytes)]
         self._allocations: dict[int, int] = {}
+        if ctx is not None:
+            ctx.register(f"device.{self.name}", self)
 
     # -- identity ------------------------------------------------------
 
@@ -189,6 +205,17 @@ class MemoryDevice:
         """Zero the access counters and channel accounting."""
         self.stats = MemoryStats()
         self.channel.reset()
+
+    def snapshot(self) -> dict:
+        """Device state for a metrics snapshot (access counters,
+        channel traffic, allocation occupancy)."""
+        snap = self.stats.snapshot()
+        snap["kind"] = self.kind.value
+        snap["healthy"] = self.healthy
+        snap["allocated_bytes"] = self.allocated_bytes
+        snap["channel_bytes"] = self.channel.bytes_transferred
+        snap["channel_busy_ns"] = self.channel.busy_time_ns
+        return snap
 
     def __repr__(self) -> str:
         return (

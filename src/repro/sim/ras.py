@@ -21,8 +21,24 @@ from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 from ..units import ms, us
+from .context import SimContext
 from .events import Simulator
 from .memory import MemoryDevice
+
+
+class _MonitorSnapshot:
+    """Shared snapshot protocol for the two monitor flavours."""
+
+    records: list["DetectionRecord"]
+
+    def snapshot(self) -> dict:
+        """Detections and their delay statistics."""
+        delays = [r.detection_delay_ns for r in self.records]
+        snap: dict = {"detections": len(delays)}
+        if delays:
+            snap["mean_detection_ns"] = sum(delays) / len(delays)
+            snap["max_detection_ns"] = max(delays)
+        return snap
 
 
 @dataclass
@@ -39,18 +55,21 @@ class DetectionRecord:
         return self.detected_at_ns - self.failed_at_ns
 
 
-class RASMonitor:
+class RASMonitor(_MonitorSnapshot):
     """Hardware (protocol-level) failure detection.
 
     CXL RAS surfaces poisoned reads / link-down conditions in-band, so
     detection happens within a protocol timeout, not a software one.
     """
 
-    def __init__(self, detection_latency_ns: float = us(10.0)) -> None:
+    def __init__(self, detection_latency_ns: float = us(10.0),
+                 ctx: SimContext | None = None) -> None:
         if detection_latency_ns <= 0:
             raise SimulationError("detection latency must be positive")
         self.detection_latency_ns = detection_latency_ns
         self.records: list[DetectionRecord] = []
+        if ctx is not None:
+            ctx.register("ras.hardware", self)
 
     def observe_failure(self, sim: Simulator, device: MemoryDevice,
                         failed_at_ns: float) -> None:
@@ -64,7 +83,7 @@ class RASMonitor:
         sim.after(self.detection_latency_ns, _detect)
 
 
-class TimeoutMonitor:
+class TimeoutMonitor(_MonitorSnapshot):
     """Software failure detection by missed heartbeats over TCP.
 
     A peer is declared dead after ``miss_threshold`` consecutive missed
@@ -73,12 +92,15 @@ class TimeoutMonitor:
     """
 
     def __init__(self, heartbeat_interval_ns: float = ms(100.0),
-                 miss_threshold: int = 3) -> None:
+                 miss_threshold: int = 3,
+                 ctx: SimContext | None = None) -> None:
         if heartbeat_interval_ns <= 0 or miss_threshold <= 0:
             raise SimulationError("invalid timeout-monitor configuration")
         self.heartbeat_interval_ns = heartbeat_interval_ns
         self.miss_threshold = miss_threshold
         self.records: list[DetectionRecord] = []
+        if ctx is not None:
+            ctx.register("ras.timeout", self)
 
     def detection_time_ns(self, failed_at_ns: float) -> float:
         """When a failure at *failed_at_ns* is declared (absolute ns)."""
@@ -109,6 +131,7 @@ class FailureInjector:
     sim: Simulator
     monitors: list[object] = field(default_factory=list)
     injected: list[tuple[str, float]] = field(default_factory=list)
+    ctx: SimContext | None = None
 
     def attach(self, monitor: RASMonitor | TimeoutMonitor) -> None:
         """Subscribe a monitor to future failures."""
@@ -119,6 +142,10 @@ class FailureInjector:
         def _fail() -> None:
             device.fail()
             self.injected.append((device.name, self.sim.now))
+            if self.ctx is not None:
+                self.ctx.event("device-failed", cat="ras",
+                               args={"device": device.name})
+                self.ctx.metrics.incr("ras.failures_injected")
             for monitor in self.monitors:
                 monitor.observe_failure(self.sim, device, self.sim.now)
         self.sim.at(time_ns, _fail)

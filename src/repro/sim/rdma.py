@@ -11,11 +11,15 @@ the payload efficiency from :func:`repro.config.rdma_nic_400g`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .. import config
 from ..errors import TopologyError
 from ..units import transfer_time_ns
 from .bandwidth import SharedChannel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SimContext
 
 
 @dataclass
@@ -26,6 +30,15 @@ class RDMAStats:
     writes: int = 0
     sends: int = 0
     bytes: int = 0
+
+    def snapshot(self) -> dict:
+        """Counters as a dict (metrics snapshot protocol)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "sends": self.sends,
+            "bytes": self.bytes,
+        }
 
 
 class RDMANic:
@@ -60,10 +73,22 @@ class RDMAFabric:
     with both NIC channels charged for contention.
     """
 
-    def __init__(self, switch_latency_ns: float = 300.0) -> None:
+    def __init__(self, switch_latency_ns: float = 300.0,
+                 ctx: "SimContext | None" = None) -> None:
         self.switch_latency_ns = switch_latency_ns
         self.stats = RDMAStats()
         self._nics: dict[str, RDMANic] = {}
+        if ctx is not None:
+            ctx.register("rdma", self)
+
+    def snapshot(self) -> dict:
+        """Fabric state for a metrics snapshot: op counters plus
+        per-NIC channel traffic."""
+        snap = self.stats.snapshot()
+        for host, nic in self._nics.items():
+            snap[f"nic.{host}.bytes"] = nic.channel.bytes_transferred
+            snap[f"nic.{host}.busy_ns"] = nic.channel.busy_time_ns
+        return snap
 
     def add_host(self, host: str,
                  spec: config.LinkSpec | None = None) -> RDMANic:

@@ -1,0 +1,258 @@
+"""Virtual-time tracing sinks.
+
+The tracing half of the instrumentation spine records *spans* (an
+interval of virtual time attributed to a named activity) and *instant
+events*. Timestamps are the simulator's virtual nanoseconds, never
+wall-clock, so a trace of a run is deterministic.
+
+Sinks:
+
+* :data:`NULL_SINK` — the default; a no-op singleton whose ``enabled``
+  flag lets hot paths skip span bookkeeping entirely, so disabled
+  tracing costs one attribute load and a branch;
+* :class:`MemoryTraceSink` — collects records in lists (tests,
+  programmatic inspection);
+* :class:`JsonLinesTraceSink` — one JSON object per record, streamed;
+* :class:`ChromeTraceSink` — a ``chrome://tracing`` / Perfetto JSON
+  file; open it with the browser's trace viewer to see where the
+  virtual nanoseconds of a run went.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from ..errors import SimulationError
+
+
+class SpanRecord:
+    """One completed span of virtual time."""
+
+    __slots__ = ("name", "cat", "start_ns", "end_ns", "args")
+
+    def __init__(self, name: str, cat: str, start_ns: float,
+                 end_ns: float, args: dict | None = None) -> None:
+        self.name = name
+        self.cat = cat
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.args = args
+
+    @property
+    def duration_ns(self) -> float:
+        """Span length in virtual ns."""
+        return self.end_ns - self.start_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.name!r}, cat={self.cat!r},"
+            f" [{self.start_ns:.0f}..{self.end_ns:.0f}]ns)"
+        )
+
+
+class TraceSink:
+    """Base sink: validates records, dispatches to ``_write_*`` hooks."""
+
+    __slots__ = ()
+
+    #: Hot paths check this before building span objects.
+    enabled: bool = True
+
+    def emit_span(self, name: str, cat: str, start_ns: float,
+                  end_ns: float, args: dict | None = None) -> None:
+        """Record a completed [start, end] span of virtual time."""
+        if end_ns < start_ns:
+            raise SimulationError(
+                f"span {name!r} ends before it starts:"
+                f" [{start_ns}, {end_ns}]"
+            )
+        self._write_span(SpanRecord(name, cat, start_ns, end_ns, args))
+
+    def emit_instant(self, name: str, cat: str, ts_ns: float,
+                     args: dict | None = None) -> None:
+        """Record a zero-duration event at *ts_ns*."""
+        self._write_instant(name, cat, ts_ns, args)
+
+    def _write_span(self, span: SpanRecord) -> None:
+        raise NotImplementedError
+
+    def _write_instant(self, name: str, cat: str, ts_ns: float,
+                       args: dict | None) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resource."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class NullTraceSink(TraceSink):
+    """The disabled sink: a no-op singleton, zero per-record cost."""
+
+    __slots__ = ()
+
+    enabled = False
+    _instance: "NullTraceSink | None" = None
+
+    def __new__(cls) -> "NullTraceSink":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def emit_span(self, name: str, cat: str, start_ns: float,
+                  end_ns: float, args: dict | None = None) -> None:
+        """Discard (kept cheap: no validation, no allocation)."""
+
+    def emit_instant(self, name: str, cat: str, ts_ns: float,
+                     args: dict | None = None) -> None:
+        """Discard."""
+
+
+#: The shared no-op sink every component defaults to.
+NULL_SINK = NullTraceSink()
+
+
+class MemoryTraceSink(TraceSink):
+    """Collects records in memory — the test/inspection sink."""
+
+    __slots__ = ("spans", "instants")
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self.instants: list[tuple[str, str, float, dict | None]] = []
+
+    def _write_span(self, span: SpanRecord) -> None:
+        self.spans.append(span)
+
+    def _write_instant(self, name: str, cat: str, ts_ns: float,
+                       args: dict | None) -> None:
+        self.instants.append((name, cat, ts_ns, args))
+
+
+class JsonLinesTraceSink(TraceSink):
+    """Streams records as JSON lines (one object per line).
+
+    Accepts a path (opened and owned by the sink) or any open
+    file-like object (left open on :meth:`close`).
+    """
+
+    __slots__ = ("_fh", "_owns")
+
+    def __init__(self, out: str | TextIO) -> None:
+        if isinstance(out, str):
+            self._fh: TextIO = open(out, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = out
+            self._owns = False
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, default=str))
+        self._fh.write("\n")
+
+    def _write_span(self, span: SpanRecord) -> None:
+        record: dict[str, Any] = {
+            "type": "span", "name": span.name, "cat": span.cat,
+            "ts_ns": span.start_ns, "dur_ns": span.duration_ns,
+        }
+        if span.args:
+            record["args"] = span.args
+        self._write(record)
+
+    def _write_instant(self, name: str, cat: str, ts_ns: float,
+                       args: dict | None) -> None:
+        record: dict[str, Any] = {
+            "type": "instant", "name": name, "cat": cat, "ts_ns": ts_ns,
+        }
+        if args:
+            record["args"] = args
+        self._write(record)
+
+    def close(self) -> None:
+        """Flush; close the file if the sink opened it."""
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+class ChromeTraceSink(TraceSink):
+    """Writes the Chrome trace-event JSON format.
+
+    Virtual nanoseconds are emitted as the format's microsecond
+    timestamps (``ts = ns / 1000``), so 1 us in the viewer is 1 us of
+    *virtual* time. Each span category becomes a named track (thread
+    row) in the viewer.
+    """
+
+    __slots__ = ("_out", "_events", "_tracks")
+
+    def __init__(self, out: str | TextIO) -> None:
+        self._out = out
+        self._events: list[dict[str, Any]] = []
+        self._tracks: dict[str, int] = {}
+
+    def _tid(self, cat: str) -> int:
+        tid = self._tracks.get(cat)
+        if tid is None:
+            tid = len(self._tracks)
+            self._tracks[cat] = tid
+        return tid
+
+    def _write_span(self, span: SpanRecord) -> None:
+        event: dict[str, Any] = {
+            "name": span.name, "cat": span.cat or "sim", "ph": "X",
+            "ts": span.start_ns / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": 0, "tid": self._tid(span.cat or "sim"),
+        }
+        if span.args:
+            event["args"] = span.args
+        self._events.append(event)
+
+    def _write_instant(self, name: str, cat: str, ts_ns: float,
+                       args: dict | None) -> None:
+        event: dict[str, Any] = {
+            "name": name, "cat": cat or "sim", "ph": "i",
+            "ts": ts_ns / 1000.0, "pid": 0,
+            "tid": self._tid(cat or "sim"), "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def trace_object(self) -> dict[str, Any]:
+        """The complete trace as the Chrome JSON object."""
+        metadata = [
+            {
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in self._tracks.items()
+        ]
+        return {
+            "traceEvents": metadata + self._events,
+            "displayTimeUnit": "ns",
+            "otherData": {"clock": "virtual-ns"},
+        }
+
+    def close(self) -> None:
+        """Serialize the collected events."""
+        obj = self.trace_object()
+        if isinstance(self._out, str):
+            with open(self._out, "w", encoding="utf-8") as fh:
+                json.dump(obj, fh)
+        else:
+            json.dump(obj, self._out)
+
+
+def sink_for_path(path: str) -> TraceSink:
+    """Choose an exporter by file extension (``.jsonl`` streams JSON
+    lines; anything else gets a Chrome trace)."""
+    if path.endswith(".jsonl"):
+        return JsonLinesTraceSink(path)
+    return ChromeTraceSink(path)

@@ -10,7 +10,7 @@ cloud workloads (:mod:`repro.workloads.cloudmix`).
 from .cloudmix import CloudWorkload, generate_population
 from .replay import TraceProfile, load_trace, profile_trace, save_trace
 from .scans import mixed_htap_trace, scan_trace
-from .traces import Access, interleave
+from .traces import Access, instrumented, interleave
 from .ycsb import YCSB_MIXES, YCSBConfig, ycsb_trace
 from .zipf import ZipfGenerator
 
@@ -22,6 +22,7 @@ __all__ = [
     "YCSB_MIXES",
     "ZipfGenerator",
     "generate_population",
+    "instrumented",
     "interleave",
     "load_trace",
     "mixed_htap_trace",

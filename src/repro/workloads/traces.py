@@ -14,7 +14,7 @@ from typing import Iterable, Iterator
 from ..units import CACHE_LINE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Access:
     """One logical page access issued by a workload.
 
@@ -22,7 +22,8 @@ class Access:
     compute between memory touches — what makes a workload memory- or
     compute-bound). ``nbytes`` is how much of the page the access
     actually touches (a point lookup touches a line; a scan touches
-    the full page).
+    the full page). ``slots=True`` because multi-million-access traces
+    allocate one of these per op.
     """
 
     page_id: int
@@ -69,3 +70,35 @@ def merge_timed(*timed_traces: Iterable[tuple[float, Access]]
                 ) -> Iterator[tuple[float, Access]]:
     """Merge (timestamp, access) streams by timestamp."""
     return heapq.merge(*timed_traces, key=lambda pair: pair[0])
+
+
+def instrumented(trace: Iterable[Access], ctx, name: str = "trace",
+                 batch: int = 1024) -> Iterator[Access]:
+    """Pass a trace through while counting it into *ctx* metrics.
+
+    Counters land under ``workload.<name>.*`` (accesses, writes,
+    scans, bytes). Counting is batched so instrumenting a generator
+    costs a few local increments per access, not a registry call.
+    """
+    metrics = ctx.metrics.scope(f"workload.{name}")
+    accesses = writes = scans = nbytes = 0
+    for access in trace:
+        accesses += 1
+        nbytes += access.nbytes
+        if access.write:
+            writes += 1
+        if access.is_scan:
+            scans += 1
+        if accesses % batch == 0:
+            metrics.incr("accesses", batch)
+            metrics.incr("writes", writes)
+            metrics.incr("scans", scans)
+            metrics.incr("bytes", nbytes)
+            writes = scans = nbytes = 0
+        yield access
+    remainder = accesses % batch
+    if remainder or writes or scans or nbytes:
+        metrics.incr("accesses", remainder)
+        metrics.incr("writes", writes)
+        metrics.incr("scans", scans)
+        metrics.incr("bytes", nbytes)

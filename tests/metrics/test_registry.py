@@ -1,0 +1,181 @@
+"""Hierarchical MetricsRegistry: namespacing, histograms, providers."""
+
+import pytest
+
+from repro.metrics.registry import (
+    MetricsRegistry,
+    SnapshotProvider,
+    flatten,
+    nest,
+)
+
+
+class TestCounters:
+    def test_incr_and_get(self):
+        reg = MetricsRegistry()
+        assert reg.incr("pool.hits") == 1
+        assert reg.incr("pool.hits", 4) == 5
+        assert reg.get("pool.hits") == 5
+
+    def test_untouched_counter_is_zero(self):
+        assert MetricsRegistry().get("nope") == 0
+
+    def test_namespacing_nests_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.incr("device.dram.loads", 3)
+        reg.incr("device.cxl.loads", 7)
+        reg.incr("pool.hits", 11)
+        snap = reg.snapshot()
+        assert snap["device"]["dram"]["loads"] == 3
+        assert snap["device"]["cxl"]["loads"] == 7
+        assert snap["pool"]["hits"] == 11
+
+
+class TestScoping:
+    def test_scope_prefixes_names(self):
+        reg = MetricsRegistry()
+        scope = reg.scope("operator.TableScan")
+        scope.incr("rows", 100)
+        assert reg.get("operator.TableScan.rows") == 100
+
+    def test_nested_scope(self):
+        reg = MetricsRegistry()
+        deep = reg.scope("a").scope("b")
+        deep.incr("c")
+        assert reg.get("a.b.c") == 1
+
+
+class TestGauges:
+    def test_plain_gauge(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("pool.resident", 42)
+        assert reg.gauge("pool.resident") == 42
+
+    def test_live_gauge_resolved_at_snapshot(self):
+        reg = MetricsRegistry()
+        state = {"v": 1}
+        reg.set_gauge("live", lambda: state["v"])
+        assert reg.snapshot()["live"] == 1
+        state["v"] = 9
+        assert reg.snapshot()["live"] == 9
+
+
+class TestHistograms:
+    def test_percentiles(self):
+        reg = MetricsRegistry()
+        for value in range(1, 1001):
+            reg.observe("latency_ns", float(value))
+        snap = flatten(reg.snapshot())
+        assert snap["latency_ns.count"] == 1000
+        assert snap["latency_ns.min"] == 1.0
+        assert snap["latency_ns.max"] == 1000.0
+        # Log-bucketed histogram: percentiles are approximate.
+        assert snap["latency_ns.p50"] == pytest.approx(500, rel=0.25)
+        assert snap["latency_ns.p95"] == pytest.approx(950, rel=0.25)
+        assert snap["latency_ns.p99"] == pytest.approx(990, rel=0.25)
+
+    def test_empty_histogram_summarizes_as_zero_count(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty")
+        assert flatten(reg.snapshot())["empty.count"] == 0
+
+    def test_get_or_create_returns_same_histogram(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestProviders:
+    class FakePool:
+        def __init__(self, hits):
+            self.hits = hits
+
+        def snapshot(self):
+            return {"hits": self.hits, "tier": {"dram": {"pages": 7}}}
+
+    def test_provider_folded_in_lazily(self):
+        reg = MetricsRegistry()
+        pool = self.FakePool(hits=5)
+        assert reg.register("pool", pool) == "pool"
+        pool.hits = 99  # mutate after registration
+        snap = reg.snapshot()
+        assert snap["pool"]["hits"] == 99
+        assert snap["pool"]["tier"]["dram"]["pages"] == 7
+
+    def test_namespace_collision_gets_suffix(self):
+        reg = MetricsRegistry()
+        first = self.FakePool(1)
+        second = self.FakePool(2)
+        assert reg.register("pool", first) == "pool"
+        assert reg.register("pool", second) == "pool.2"
+        snap = reg.snapshot()
+        assert snap["pool"]["hits"] == 1
+        assert snap["pool"]["2"]["hits"] == 2
+
+    def test_reregistering_same_provider_is_idempotent(self):
+        reg = MetricsRegistry()
+        pool = self.FakePool(1)
+        assert reg.register("pool", pool) == "pool"
+        assert reg.register("pool", pool) == "pool"
+
+    def test_unregister(self):
+        reg = MetricsRegistry()
+        reg.register("pool", self.FakePool(1))
+        reg.unregister("pool")
+        assert "pool" not in reg.snapshot()
+
+    def test_protocol_runtime_check(self):
+        assert isinstance(self.FakePool(0), SnapshotProvider)
+        assert not isinstance(object(), SnapshotProvider)
+
+
+class TestReset:
+    def test_reset_one(self):
+        reg = MetricsRegistry()
+        reg.incr("a", 5)
+        reg.incr("b", 7)
+        reg.reset("a")
+        assert reg.get("a") == 0
+        assert reg.get("b") == 7
+
+    def test_reset_all_clears_instruments(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 2.0)
+        reg.reset()
+        assert reg.flat_snapshot() == {}
+
+    def test_reset_keeps_providers(self):
+        reg = MetricsRegistry()
+        reg.register("pool", TestProviders.FakePool(hits=3))
+        reg.reset()
+        assert reg.snapshot()["pool"]["hits"] == 3
+
+
+class TestSnapshotIsolation:
+    def test_mutating_snapshot_does_not_touch_registry(self):
+        reg = MetricsRegistry()
+        reg.incr("pool.hits", 5)
+        snap = reg.snapshot()
+        snap["pool"]["hits"] = 12345
+        snap["pool"]["new"] = 1
+        assert reg.get("pool.hits") == 5
+        assert reg.snapshot()["pool"] == {"hits": 5}
+
+    def test_snapshots_are_independent(self):
+        reg = MetricsRegistry()
+        reg.incr("x")
+        first = reg.snapshot()
+        reg.incr("x")
+        assert first["x"] == 1
+        assert reg.snapshot()["x"] == 2
+
+
+class TestNestFlatten:
+    def test_roundtrip(self):
+        flat = {"a.b.c": 1, "a.b.d": 2, "e": 3}
+        assert flatten(nest(flat)) == flat
+
+    def test_leaf_and_prefix_collision(self):
+        tree = nest({"a": 1, "a.b": 2})
+        assert tree == {"a": {"_": 1, "b": 2}}

@@ -1,0 +1,146 @@
+"""Trace sinks: null singleton, JSONL and Chrome exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace import (
+    NULL_SINK,
+    ChromeTraceSink,
+    JsonLinesTraceSink,
+    MemoryTraceSink,
+    NullTraceSink,
+    SpanRecord,
+    sink_for_path,
+)
+
+
+class TestNullSink:
+    def test_singleton(self):
+        assert NullTraceSink() is NULL_SINK
+        assert NullTraceSink() is NullTraceSink()
+
+    def test_disabled(self):
+        assert NULL_SINK.enabled is False
+
+    def test_discards_without_validation(self):
+        # The no-op fast path skips even the end>=start check.
+        NULL_SINK.emit_span("x", "sim", 10.0, 5.0)
+        NULL_SINK.emit_instant("x", "sim", 1.0)
+
+    def test_no_instance_dict(self):
+        with pytest.raises(AttributeError):
+            NULL_SINK.arbitrary = 1
+
+
+class TestValidation:
+    def test_span_must_be_monotone(self):
+        sink = MemoryTraceSink()
+        with pytest.raises(SimulationError):
+            sink.emit_span("bad", "sim", 10.0, 9.0)
+
+    def test_zero_duration_span_ok(self):
+        sink = MemoryTraceSink()
+        sink.emit_span("instantish", "sim", 5.0, 5.0)
+        assert sink.spans[0].duration_ns == 0.0
+
+
+class TestMemorySink:
+    def test_records_spans_and_instants(self):
+        sink = MemoryTraceSink()
+        sink.emit_span("fault", "pool", 100.0, 350.0, {"page": 7})
+        sink.emit_instant("failed", "ras", 400.0)
+        (span,) = sink.spans
+        assert (span.name, span.cat) == ("fault", "pool")
+        assert span.duration_ns == 250.0
+        assert span.args == {"page": 7}
+        assert sink.instants == [("failed", "ras", 400.0, None)]
+
+
+class TestJsonLinesSink:
+    def test_valid_jsonl(self):
+        buf = io.StringIO()
+        sink = JsonLinesTraceSink(buf)
+        sink.emit_span("fault", "pool", 100.0, 350.0, {"page": 7})
+        sink.emit_span("flush", "pool", 350.0, 500.0)
+        sink.emit_instant("failed", "ras", 600.0, {"device": "cxl"})
+        sink.close()
+        lines = buf.getvalue().strip().splitlines()
+        records = [json.loads(line) for line in lines]  # every line parses
+        assert len(records) == 3
+        assert records[0] == {
+            "type": "span", "name": "fault", "cat": "pool",
+            "ts_ns": 100.0, "dur_ns": 250.0, "args": {"page": 7},
+        }
+        assert records[1]["dur_ns"] == 150.0
+        assert "args" not in records[1]
+        assert records[2]["type"] == "instant"
+        assert records[2]["ts_ns"] == 600.0
+
+    def test_path_owned_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonLinesTraceSink(str(path))
+        sink.emit_span("s", "sim", 0.0, 1.0)
+        sink.close()
+        assert json.loads(path.read_text())["name"] == "s"
+
+
+class TestChromeSink:
+    def test_valid_chrome_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path))
+        sink.emit_span("fault", "pool", 2_000.0, 5_000.0, {"page": 3})
+        sink.emit_span("run", "engine", 0.0, 9_000.0)
+        sink.emit_instant("failed", "ras", 7_000.0)
+        sink.close()
+        trace = json.loads(path.read_text())
+        assert trace["displayTimeUnit"] == "ns"
+        events = trace["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        # ns -> us conversion for the viewer.
+        fault = next(e for e in spans if e["name"] == "fault")
+        assert fault["ts"] == 2.0
+        assert fault["dur"] == 3.0
+        # One named track (thread_name metadata) per category.
+        tracks = {
+            e["args"]["name"]: e["tid"]
+            for e in events if e.get("ph") == "M"
+        }
+        assert set(tracks) == {"pool", "engine", "ras"}
+        assert fault["tid"] == tracks["pool"]
+        instant = next(e for e in events if e.get("ph") == "i")
+        assert instant["ts"] == 7.0
+
+    def test_spans_monotone_in_virtual_time(self):
+        sink = ChromeTraceSink(io.StringIO())
+        clock = 0.0
+        for i in range(20):
+            start, clock = clock, clock + 10.0 * (i + 1)
+            sink.emit_span(f"s{i}", "sim", start, clock)
+        events = sink.trace_object()["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        starts = [e["ts"] for e in spans]
+        assert starts == sorted(starts)
+        assert all(e["dur"] >= 0 for e in spans)
+        # Each span begins where the previous one ended.
+        for prev, cur in zip(spans, spans[1:]):
+            assert cur["ts"] == pytest.approx(prev["ts"] + prev["dur"])
+
+
+class TestSinkForPath:
+    def test_extension_dispatch(self, tmp_path):
+        assert isinstance(
+            sink_for_path(str(tmp_path / "t.jsonl")), JsonLinesTraceSink
+        )
+        assert isinstance(
+            sink_for_path(str(tmp_path / "t.json")), ChromeTraceSink
+        )
+
+
+class TestSpanRecord:
+    def test_slots(self):
+        span = SpanRecord("s", "sim", 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            span.extra = 1
