@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test lint bench trace-demo clean
+.PHONY: verify test lint bench sweep trace-demo clean
 
 # The tier-1 gate: what CI runs and what every change must keep green.
 verify: test lint
@@ -18,6 +18,14 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# The gated scenario sweeps (mirrors the CI sweep job): E1/E2/E4/E7
+# fan out across workers, results land in results/sweeps/, and each
+# sweep's baseline shape invariants must hold.
+sweep:
+	$(PYTHON) -m repro sweep specs/e1_paths.json specs/e2_tiering.json \
+		specs/e4_transfer_ladder.json specs/e7_distribution.json \
+		--jobs 4 --gate
 
 trace-demo:
 	$(PYTHON) examples/quickstart.py --trace-out quickstart.trace.json

@@ -1,0 +1,301 @@
+"""Experiment kernels runnable from a :class:`Scenario`.
+
+Each kernel is a function ``(scenario, ctx) -> dict`` registered under
+a dotted name; :func:`run_scenario` looks the kernel up, builds a fresh
+:class:`~repro.sim.context.SimContext` for the cell (the PR-1 one-clock
+invariant: one context, one clock, per simulated configuration) and
+validates that the result is a flat JSON-serializable mapping.
+
+These are the sweep-native ports of the ``benchmarks/bench_*.py``
+experiments: where a benchmark script loops over a hand-rolled grid
+and *compares* configurations inline, a kernel simulates exactly one
+grid cell and returns raw metrics — comparisons ("who wins", ratio
+bounds, crossover positions) move into baseline gate files
+(:mod:`repro.harness.gate`).
+
+``debug.*`` kernels exercise the executor itself (crash isolation,
+timeouts, determinism) and are intentionally cheap.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Mapping
+
+from .. import config
+from ..errors import ConfigError, SimulationError
+from ..sim.context import SimContext
+from ..units import CACHE_LINE, MIB
+from .scenario import Scenario, canonical_json
+
+#: Registered kernels: dotted name -> (scenario, ctx) -> result dict.
+RUNNERS: dict[str, Callable[[Scenario, SimContext], dict]] = {}
+
+
+def runner(name: str) -> Callable:
+    """Register an experiment kernel under *name*."""
+
+    def register(fn: Callable[[Scenario, SimContext], dict]) -> Callable:
+        if name in RUNNERS:
+            raise ConfigError(f"duplicate experiment kernel {name!r}")
+        RUNNERS[name] = fn
+        return fn
+
+    return register
+
+
+def run_scenario(scenario: Scenario) -> dict:
+    """Execute one scenario cell in a fresh SimContext."""
+    try:
+        kernel = RUNNERS[scenario.experiment]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {scenario.experiment!r}; registered:"
+            f" {sorted(RUNNERS)}"
+        ) from None
+    result = kernel(scenario, SimContext())
+    if not isinstance(result, Mapping):
+        raise SimulationError(
+            f"{scenario.experiment} returned {type(result).__name__},"
+            " expected a mapping of metrics"
+        )
+    result = dict(result)
+    try:
+        canonical_json(result)
+    except (TypeError, ValueError) as exc:
+        raise SimulationError(
+            f"{scenario.experiment} result is not JSON-serializable:"
+            f" {exc}"
+        ) from exc
+    return result
+
+
+def _param(group: Mapping[str, Any], key: str, default: Any) -> Any:
+    value = group.get(key, default)
+    if value is None:
+        raise ConfigError(f"parameter {key!r} is required")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# E1 — CXL vs NUMA latency and bandwidth (Sec 2.4).
+# ---------------------------------------------------------------------------
+
+@runner("e1.memory_path")
+def e1_memory_path(scenario: Scenario, ctx: SimContext) -> dict:
+    """Latency/bandwidth of one memory path on a 2-socket + expander box.
+
+    ``topology.target`` picks the path: ``local`` (same-socket DRAM),
+    ``numa`` (one UPI hop), or ``cxl`` (the expander, optionally
+    ``topology.through_switch``).
+    """
+    from ..sim.memory import MemoryDevice
+    from ..sim.numa import NUMASystem
+
+    topo, wl = scenario.topology, scenario.workload
+    system = NUMASystem()
+    s0 = system.add_socket(
+        MemoryDevice(config.local_ddr5(), name="s0", ctx=ctx))
+    s1 = system.add_socket(
+        MemoryDevice(config.local_ddr5(), name="s1", ctx=ctx))
+    cxl = system.add_cxl_expander(
+        MemoryDevice(config.cxl_expander_ddr5(), ctx=ctx),
+        attached_to=s0,
+        through_switch=bool(topo.get("through_switch", False)),
+    )
+    paths = {
+        "local": system.path(s0, s0),
+        "numa": system.path(s0, s1),
+        "cxl": system.path(s0, cxl),
+    }
+    target = _param(topo, "target", "cxl")
+    if target not in paths:
+        raise ConfigError(
+            f"topology.target must be one of {sorted(paths)},"
+            f" got {target!r}"
+        )
+    path = paths[target]
+
+    accesses = int(_param(wl, "accesses", 10_000))
+    total = 0.0
+    for _ in range(accesses):
+        total += path.read_time(CACHE_LINE)
+    stream_bytes = int(_param(wl, "stream_bytes", 64 * MIB))
+    return {
+        "load_ns": total / accesses,
+        "store_ns": path.write_latency_ns(),
+        "stream_gbps": stream_bytes / path.read_time_sequential(
+            stream_bytes),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E2 — OS-driven CXL tiering, TPP-style (Sec 2.4).
+# ---------------------------------------------------------------------------
+
+@runner("e2.tiering")
+def e2_tiering(scenario: Scenario, ctx: SimContext) -> dict:
+    """One tiering configuration under a seeded YCSB trace.
+
+    ``policy.kind`` selects ``all_dram`` / ``os_paging`` / ``static``;
+    the warm-up trace uses ``seed`` and the measured trace ``seed + 1``,
+    so cells sharing a base seed (``per_cell_seeds = false``) replay
+    the identical workload and their runtimes are directly comparable.
+    """
+    from ..core import OSPagingPolicy, ScaleUpEngine, StaticPolicy
+    from ..workloads import YCSBConfig, ycsb_trace
+
+    topo, wl, pol = scenario.topology, scenario.workload, scenario.policy
+    pages = int(_param(wl, "num_pages", 4_000))
+    dram_share = float(_param(topo, "dram_share", 0.50))
+    dram_pages = int(pages * dram_share)
+    kind = _param(pol, "kind", "os_paging")
+
+    if kind == "all_dram":
+        engine = ScaleUpEngine.build(
+            dram_pages=pages + 8, with_storage=False, ctx=ctx)
+    elif kind == "os_paging":
+        engine = ScaleUpEngine.build(
+            dram_pages=dram_pages, cxl_pages=pages + 8,
+            placement=OSPagingPolicy(
+                sample_rate=float(pol.get("sample_rate", 0.05)),
+                check_interval=int(pol.get("check_interval", 1_000)),
+            ),
+            with_storage=False, ctx=ctx)
+    elif kind == "static":
+        engine = ScaleUpEngine.build(
+            dram_pages=dram_pages, cxl_pages=pages + 8,
+            placement=StaticPolicy(
+                lambda p: 0 if p < dram_pages else 1),
+            with_storage=False, ctx=ctx)
+    else:
+        raise ConfigError(
+            "policy.kind must be all_dram, os_paging or static;"
+            f" got {kind!r}"
+        )
+
+    def trace(seed: int):
+        return ycsb_trace(YCSBConfig(
+            mix=wl.get("mix", "B"),
+            num_pages=pages,
+            num_ops=int(wl.get("num_ops", 25_000)),
+            theta=float(wl.get("theta", 0.99)),
+            think_ns=float(wl.get("think_ns", 300.0)),
+            seed=seed,
+        ))
+
+    engine.warm_with(trace(scenario.seed))
+    report = engine.run(trace(scenario.seed + 1))
+    result = {
+        "total_ns": report.total_ns,
+        "ops": report.ops,
+        "hit_rate": report.hit_rate,
+        "migrations": report.migrations,
+    }
+    if report.tier_hit_rates:
+        result["fast_tier_hit_rate"] = report.tier_hit_rates[0]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E4 — CXL fabric vs RDMA networking (Sec 2.5).
+# ---------------------------------------------------------------------------
+
+@runner("e4.cxl_vs_rdma")
+def e4_cxl_vs_rdma(scenario: Scenario, ctx: SimContext) -> dict:
+    """One transfer size over an RDMA fabric vs a switched CXL path."""
+    from ..sim.interconnect import AccessPath, Link
+    from ..sim.memory import MemoryDevice
+    from ..sim.rdma import RDMAFabric
+
+    topo, wl = scenario.topology, scenario.workload
+    size = int(_param(wl, "transfer_bytes", CACHE_LINE))
+    fabric = RDMAFabric()
+    fabric.add_host("a")
+    fabric.add_host("b")
+    links = [Link(config.cxl_port(), ctx=ctx)]
+    links += [Link(config.cxl_switch_hop(), ctx=ctx)
+              for _ in range(int(topo.get("switch_hops", 1)))]
+    cxl = AccessPath(
+        device=MemoryDevice(config.cxl_expander_ddr5(), ctx=ctx),
+        links=tuple(links),
+    )
+    rdma_ns = fabric.one_sided_read_time("a", "b", size)
+    cxl_ns = cxl.read_time(size)
+    nic = fabric.nic("a")
+    return {
+        "rdma_ns": rdma_ns,
+        "cxl_ns": cxl_ns,
+        "advantage": rdma_ns / cxl_ns,
+        "nic_wasted_pcie_fraction": nic.wasted_pcie_fraction,
+    }
+
+
+# ---------------------------------------------------------------------------
+# E7 — rack-scale sharing vs scale-out, Fig 2(c) (Sec 3.3).
+# ---------------------------------------------------------------------------
+
+@runner("e7.sharing_vs_scaleout")
+def e7_sharing_vs_scaleout(scenario: Scenario, ctx: SimContext) -> dict:
+    """Shared-memory vs sharded-2PC throughput at one distributed mix.
+
+    Both engines replay the same seeded TPC-C-lite transaction stream;
+    the crossover along ``workload.remote_fraction`` is asserted by the
+    gate, not computed here.
+    """
+    from ..core.scaleout import ScaleOutConfig, ScaleOutEngine
+    from ..core.shared import SharedEngineConfig, SharedRackEngine
+    from ..workloads.tpcc import TPCCLite
+
+    topo, wl = scenario.topology, scenario.workload
+    nodes = int(_param(topo, "nodes", 4))
+    txns = list(TPCCLite(
+        num_warehouses=int(_param(wl, "warehouses", 16)),
+        remote_probability=float(_param(wl, "remote_fraction", 0.1)),
+        seed=scenario.seed,
+    ).transactions(int(_param(wl, "txns", 1_500))))
+    up = SharedRackEngine(
+        SharedEngineConfig(num_hosts=nodes)).run(txns)
+    out = ScaleOutEngine(
+        ScaleOutConfig(num_nodes=nodes)).run(txns)
+    return {
+        "scale_up_tps": up.throughput_tps,
+        "scale_out_tps": out.throughput_tps,
+        "ratio": up.throughput_tps / out.throughput_tps,
+    }
+
+
+# ---------------------------------------------------------------------------
+# debug.* — executor-facing kernels used by the harness's own tests.
+# ---------------------------------------------------------------------------
+
+@runner("debug.echo")
+def debug_echo(scenario: Scenario, ctx: SimContext) -> dict:
+    """Echo the cell's parameters and seed (determinism probe)."""
+    return {
+        "seed": scenario.seed,
+        "topology": dict(scenario.topology),
+        "workload": dict(scenario.workload),
+        "policy": dict(scenario.policy),
+    }
+
+
+@runner("debug.fail")
+def debug_fail(scenario: Scenario, ctx: SimContext) -> dict:
+    """Raise: exercises the failed-cell path."""
+    raise SimulationError("deliberate harness test failure")
+
+
+@runner("debug.crash")
+def debug_crash(scenario: Scenario, ctx: SimContext) -> dict:
+    """Kill the worker process without a result (crash isolation)."""
+    os._exit(int(scenario.workload.get("exit_code", 13)))
+
+
+@runner("debug.sleep")
+def debug_sleep(scenario: Scenario, ctx: SimContext) -> dict:
+    """Sleep in wall time (per-cell timeout path)."""
+    seconds = float(scenario.workload.get("seconds", 60.0))
+    time.sleep(seconds)
+    return {"slept_s": seconds}

@@ -1,0 +1,283 @@
+"""Baseline regression gating over sweep results.
+
+The reproduced artifact of this repo is never an absolute number — it
+is the *shape* of a result grid: who wins, by what factor, where a
+crossover falls (EXPERIMENTS.md). A baseline file under
+``results/baselines/`` declares those shapes as data, and
+:func:`check_gate` re-asserts them against a fresh
+:class:`~repro.harness.executor.SweepReport`, so any code change that
+bends a curve out of its band turns into a nonzero exit in CI.
+
+Baseline schema::
+
+    {"name": "...", "invariants": [ <invariant>, ... ]}
+
+Invariant kinds (``tolerance`` is a relative band that widens
+``min``/``max`` bounds; ``where`` selects a cell by its sweep-axis
+assignments):
+
+* ``metric_bound`` — ``{kind, where, metric, min?, max?, tolerance?}``:
+  a cell metric stays inside a band.
+* ``ratio_bound`` — ``{kind, numerator: {where, metric},
+  denominator: {where, metric}, min?, max?, tolerance?}``: a ratio of
+  two metrics (possibly from different cells) stays inside a band.
+* ``winner`` — ``{kind, larger: <ref>, smaller: <ref>, margin?}``:
+  one value beats another by at least ``margin`` (default 1.0); a
+  ``<ref>`` is ``{where, metric}``.
+* ``crossover`` — ``{kind, axis, metric, crosses, between: [lo, hi],
+  where?}``: walking cells in ascending ``axis`` order, the first
+  axis value where ``metric >= crosses`` must fall inside
+  ``[lo, hi]``.
+
+Every malformed selector, missing metric, or unknown kind becomes a
+*failed outcome* with a message — the gate never raises on bad data,
+it fails closed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..errors import ConfigError
+from .executor import CellResult
+
+
+@dataclass(frozen=True)
+class InvariantOutcome:
+    """One invariant's verdict."""
+
+    ok: bool
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{'PASS' if self.ok else 'FAIL'}] {self.kind}: " \
+               f"{self.message}"
+
+
+@dataclass
+class GateReport:
+    """All invariant outcomes for one sweep-vs-baseline check."""
+
+    baseline_name: str
+    outcomes: list[InvariantOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> list[InvariantOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"gate {self.baseline_name}: {verdict}"
+            f" ({len(self.outcomes) - len(self.failures)}/"
+            f"{len(self.outcomes)} invariants hold)"
+        )
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Load a baseline file; raises ConfigError on unusable input."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "invariants" not in data:
+        raise ConfigError(
+            f"baseline {path} must be an object with an"
+            " 'invariants' list"
+        )
+    return data
+
+
+def check_gate(cells: Sequence[CellResult], baseline: Mapping[str, Any]
+               ) -> GateReport:
+    """Assert every baseline invariant against *cells*."""
+    report = GateReport(baseline_name=str(baseline.get("name", "baseline")))
+    invariants = baseline.get("invariants", [])
+    if not invariants:
+        report.outcomes.append(InvariantOutcome(
+            False, "baseline", "baseline declares no invariants"))
+        return report
+    usable = [c for c in cells if c.ok and c.result is not None]
+    for spec in invariants:
+        kind = str(spec.get("kind", "?"))
+        checker = _CHECKERS.get(kind)
+        if checker is None:
+            outcome = InvariantOutcome(
+                False, kind,
+                f"unknown invariant kind; known: {sorted(_CHECKERS)}")
+        else:
+            try:
+                outcome = checker(usable, spec)
+            except _GateDataError as exc:
+                outcome = InvariantOutcome(False, kind, str(exc))
+        report.outcomes.append(outcome)
+    return report
+
+
+class _GateDataError(Exception):
+    """Selector/metric lookup problems inside one invariant."""
+
+
+def _select_cell(cells: Sequence[CellResult],
+                 where: Mapping[str, Any] | None) -> CellResult:
+    where = where or {}
+    matches = [
+        cell for cell in cells
+        if all(cell.assignments.get(axis) == value
+               for axis, value in where.items())
+    ]
+    if not matches:
+        raise _GateDataError(
+            f"no successful cell matches where={dict(where)}")
+    if len(matches) > 1:
+        raise _GateDataError(
+            f"where={dict(where)} is ambiguous:"
+            f" {len(matches)} cells match"
+        )
+    return matches[0]
+
+
+def _metric(cell: CellResult, name: str) -> float:
+    node: Any = cell.result
+    for part in str(name).split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            raise _GateDataError(
+                f"cell {cell.cell_id or '(single cell)'} has no metric"
+                f" {name!r}; has {sorted(cell.result or {})}"
+            )
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        raise _GateDataError(f"metric {name!r} is not numeric: {node!r}")
+    return float(node)
+
+
+def _ref_value(cells: Sequence[CellResult],
+               ref: Mapping[str, Any], label: str) -> tuple[float, str]:
+    if not isinstance(ref, Mapping) or "metric" not in ref:
+        raise _GateDataError(
+            f"{label} must be an object {{where, metric}}, got {ref!r}")
+    cell = _select_cell(cells, ref.get("where"))
+    value = _metric(cell, ref["metric"])
+    return value, f"{ref['metric']}@{cell.cell_id or 'cell'}"
+
+
+def _band(spec: Mapping[str, Any]) -> tuple[float | None, float | None]:
+    lo, hi = spec.get("min"), spec.get("max")
+    if lo is None and hi is None:
+        raise _GateDataError("bound invariant needs min and/or max")
+    tol = float(spec.get("tolerance", 0.0))
+    if tol < 0:
+        raise _GateDataError("tolerance must be non-negative")
+    lo = None if lo is None else float(lo) * (1.0 - tol)
+    hi = None if hi is None else float(hi) * (1.0 + tol)
+    return lo, hi
+
+
+def _in_band(value: float, lo: float | None, hi: float | None) -> bool:
+    return (lo is None or value >= lo) and (hi is None or value <= hi)
+
+
+def _band_label(lo: float | None, hi: float | None) -> str:
+    return f"[{'-inf' if lo is None else f'{lo:g}'}," \
+           f" {'+inf' if hi is None else f'{hi:g}'}]"
+
+
+def _check_metric_bound(cells, spec) -> InvariantOutcome:
+    if "metric" not in spec:
+        raise _GateDataError("metric_bound needs a 'metric'")
+    cell = _select_cell(cells, spec.get("where"))
+    value = _metric(cell, spec["metric"])
+    lo, hi = _band(spec)
+    ok = _in_band(value, lo, hi)
+    return InvariantOutcome(
+        ok, "metric_bound",
+        f"{spec['metric']}@{cell.cell_id or 'cell'} = {value:g},"
+        f" band {_band_label(lo, hi)}",
+    )
+
+
+def _check_ratio_bound(cells, spec) -> InvariantOutcome:
+    num, num_label = _ref_value(cells, spec.get("numerator"), "numerator")
+    den, den_label = _ref_value(
+        cells, spec.get("denominator"), "denominator")
+    if den == 0:
+        raise _GateDataError(f"denominator {den_label} is zero")
+    ratio = num / den
+    lo, hi = _band(spec)
+    ok = _in_band(ratio, lo, hi)
+    return InvariantOutcome(
+        ok, "ratio_bound",
+        f"{num_label} / {den_label} = {ratio:g},"
+        f" band {_band_label(lo, hi)}",
+    )
+
+
+def _check_winner(cells, spec) -> InvariantOutcome:
+    larger, larger_label = _ref_value(cells, spec.get("larger"), "larger")
+    smaller, smaller_label = _ref_value(
+        cells, spec.get("smaller"), "smaller")
+    margin = float(spec.get("margin", 1.0))
+    ok = larger >= smaller * margin
+    return InvariantOutcome(
+        ok, "winner",
+        f"{larger_label} = {larger:g} vs {smaller_label} ="
+        f" {smaller:g} (required margin {margin:g}x)",
+    )
+
+
+def _check_crossover(cells, spec) -> InvariantOutcome:
+    for key in ("axis", "metric", "crosses", "between"):
+        if key not in spec:
+            raise _GateDataError(f"crossover needs {key!r}")
+    axis = spec["axis"]
+    where = spec.get("where") or {}
+    line = [
+        cell for cell in cells
+        if axis in cell.assignments
+        and all(cell.assignments.get(k) == v for k, v in where.items())
+    ]
+    if len(line) < 2:
+        raise _GateDataError(
+            f"crossover needs >=2 cells along axis {axis!r},"
+            f" found {len(line)}"
+        )
+    try:
+        line.sort(key=lambda cell: float(cell.assignments[axis]))
+    except (TypeError, ValueError):
+        raise _GateDataError(
+            f"axis {axis!r} values are not numeric; cannot order them"
+        ) from None
+    lo, hi = (float(bound) for bound in spec["between"])
+    for cell in line:
+        if _metric(cell, spec["metric"]) >= _metric(cell, spec["crosses"]):
+            at = float(cell.assignments[axis])
+            return InvariantOutcome(
+                lo <= at <= hi, "crossover",
+                f"{spec['metric']} overtakes {spec['crosses']} at"
+                f" {axis} = {at:g}, expected within [{lo:g}, {hi:g}]",
+            )
+    return InvariantOutcome(
+        False, "crossover",
+        f"{spec['metric']} never overtakes {spec['crosses']} along"
+        f" {axis} (expected within [{lo:g}, {hi:g}])",
+    )
+
+
+_CHECKERS = {
+    "metric_bound": _check_metric_bound,
+    "ratio_bound": _check_ratio_bound,
+    "winner": _check_winner,
+    "crossover": _check_crossover,
+}

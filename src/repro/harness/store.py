@@ -1,0 +1,73 @@
+"""Content-addressed result store: re-runs of unchanged cells are free.
+
+Results live under ``<root>/<hh>/<hash>.json`` where ``hash`` is the
+scenario's :meth:`~repro.harness.scenario.Scenario.content_hash` —
+SHA-256 over the canonical scenario plus the harness version. Any
+change to a cell's parameters, seed, or the harness result semantics
+changes the key, so a hit is only ever served for a configuration that
+would simulate byte-identically.
+
+Writes are atomic (temp file + :func:`os.replace`), so parallel sweeps
+sharing a store never observe torn entries; concurrent writers of the
+same key write identical bytes by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .scenario import HARNESS_VERSION, Scenario, canonical_json
+
+#: Default store location, relative to the working directory.
+DEFAULT_STORE_DIR = "results/store"
+
+
+class ResultStore:
+    """A directory of cached cell results keyed by scenario hash."""
+
+    def __init__(self, root: str | Path = DEFAULT_STORE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for content-hash *key* lives."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, scenario: Scenario) -> dict | None:
+        """The cached result for *scenario*, or None on a miss.
+
+        Unreadable, corrupt, or version-mismatched entries are treated
+        as misses — the sweep re-simulates and overwrites them.
+        """
+        path = self.path_for(scenario.content_hash())
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if data.get("harness_version") != HARNESS_VERSION:
+            return None
+        result = data.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(self, scenario: Scenario, result: dict) -> Path:
+        """Store *result* under the scenario's content hash."""
+        path = self.path_for(scenario.content_hash())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = canonical_json({
+            "harness_version": HARNESS_VERSION,
+            "scenario": scenario.to_dict(),
+            "result": result,
+        })
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.root}, entries={len(self)})"

@@ -1,0 +1,117 @@
+"""Parallel sweep execution: determinism, isolation, caching."""
+
+from repro.harness.executor import run_sweep
+from repro.harness.scenario import Scenario, Sweep
+from repro.harness.store import ResultStore
+
+
+def echo_sweep(values=(1, 2, 3, 4), name="echo"):
+    return Sweep(
+        name=name,
+        base=Scenario(experiment="debug.echo", workload={"x": 0}, seed=5),
+        axes={"workload.x": tuple(values)},
+    )
+
+
+class TestRunSweep:
+    def test_results_ordered_and_complete(self):
+        report = run_sweep(echo_sweep(), jobs=2, timeout_s=60)
+        assert report.ok
+        assert [c.index for c in report.cells] == [0, 1, 2, 3]
+        assert [c.result["workload"]["x"] for c in report.cells] == \
+            [1, 2, 3, 4]
+        assert report.counts == {"ok": 4}
+
+    def test_parallel_matches_serial_byte_identical(self):
+        serial = run_sweep(echo_sweep(), jobs=1, timeout_s=60)
+        parallel = run_sweep(echo_sweep(), jobs=4, timeout_s=60)
+        assert serial.results_canonical() == parallel.results_canonical()
+
+    def test_derived_seeds_survive_fanout(self):
+        report = run_sweep(echo_sweep(), jobs=3, timeout_s=60)
+        seeds = [c.result["seed"] for c in report.cells]
+        expected = [c.scenario.seed for c in echo_sweep().cells()]
+        assert seeds == expected
+        assert len(set(seeds)) == len(seeds)
+
+    def test_exception_marks_cell_failed_not_sweep(self):
+        sweep = Sweep(
+            name="mixed",
+            base=Scenario(experiment="debug.echo"),
+            axes={"experiment": ("debug.echo", "debug.fail",
+                                 "debug.echo")},
+        )
+        report = run_sweep(sweep, jobs=2, timeout_s=60)
+        statuses = {c.assignments["experiment"]: c.status
+                    for c in report.cells}
+        assert statuses["debug.fail"] == "failed"
+        assert statuses["debug.echo"] == "ok"
+        assert not report.ok
+        failed = next(c for c in report.cells if c.status == "failed")
+        assert "deliberate harness test failure" in failed.error
+
+    def test_worker_death_is_isolated(self):
+        sweep = Sweep(
+            name="crashy",
+            base=Scenario(experiment="debug.echo"),
+            axes={"experiment": ("debug.crash", "debug.echo")},
+        )
+        report = run_sweep(sweep, jobs=2, timeout_s=60)
+        by_exp = {c.assignments["experiment"]: c for c in report.cells}
+        assert by_exp["debug.crash"].status == "failed"
+        assert by_exp["debug.echo"].status == "ok"
+
+    def test_timeout_terminates_cell(self):
+        sweep = Sweep(
+            name="slow",
+            base=Scenario(experiment="debug.sleep",
+                          workload={"seconds": 30.0}),
+            axes={"workload.i": (1,)},
+        )
+        report = run_sweep(sweep, jobs=1, timeout_s=0.3)
+        assert report.cells[0].status == "timeout"
+        assert "wall-time" in report.cells[0].error
+
+    def test_unknown_experiment_fails_cell(self):
+        sweep = Sweep(
+            name="unknown",
+            base=Scenario(experiment="no.such.kernel"),
+            axes={"workload.i": (1,)},
+        )
+        report = run_sweep(sweep, jobs=1, timeout_s=60)
+        assert report.cells[0].status == "failed"
+        assert "unknown experiment" in report.cells[0].error
+
+    def test_cache_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_sweep(echo_sweep(), jobs=2, store=store)
+        assert first.simulated == 4 and first.cached == 0
+        second = run_sweep(echo_sweep(), jobs=2, store=store)
+        assert second.simulated == 0 and second.cached == 4
+        assert second.counts == {"cached": 4}
+        assert first.results_canonical() == second.results_canonical()
+
+    def test_no_cache_resimulates_but_still_stores(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(echo_sweep(), jobs=1, store=store)
+        again = run_sweep(echo_sweep(), jobs=1, store=store,
+                          use_cache=False)
+        assert again.cached == 0 and again.simulated == 4
+        assert len(store) == 4
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = Sweep(name="f", base=Scenario(experiment="debug.fail"),
+                      axes={"workload.i": (1,)})
+        run_sweep(sweep, jobs=1, store=store)
+        assert len(store) == 0
+        report = run_sweep(sweep, jobs=1, store=store)
+        assert report.cells[0].status == "failed"
+
+    def test_report_dict_is_json_ready(self):
+        import json
+        report = run_sweep(echo_sweep(values=(1,)), jobs=1)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["name"] == "echo"
+        assert data["counts"] == {"ok": 1}
+        assert data["cells"][0]["cell_id"] == "workload.x=1"

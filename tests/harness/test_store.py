@@ -1,0 +1,51 @@
+"""The content-addressed result store."""
+
+from repro.harness.scenario import HARNESS_VERSION, Scenario
+from repro.harness.store import ResultStore
+
+
+def scenario(**overrides):
+    base = dict(experiment="debug.echo", workload={"x": 1}, seed=3)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = scenario()
+        assert store.get(s) is None
+        store.put(s, {"metric": 1.5})
+        assert store.get(s) == {"metric": 1.5}
+        assert len(store) == 1
+
+    def test_keys_are_scenario_specific(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(scenario(), {"metric": 1.0})
+        assert store.get(scenario(seed=4)) is None
+        assert store.get(scenario(workload={"x": 2})) is None
+
+    def test_put_is_idempotent_and_byte_stable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = store.put(scenario(), {"metric": 1.0}).read_bytes()
+        second = store.put(scenario(), {"metric": 1.0}).read_bytes()
+        assert first == second
+        assert len(store) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(scenario(), {"metric": 1.0})
+        path.write_text("{torn write")
+        assert store.get(scenario()) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        import json
+        store = ResultStore(tmp_path)
+        path = store.put(scenario(), {"metric": 1.0})
+        data = json.loads(path.read_text())
+        data["harness_version"] = HARNESS_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert store.get(scenario()) is None
+
+    def test_empty_store_len(self, tmp_path):
+        assert len(ResultStore(tmp_path / "absent")) == 0

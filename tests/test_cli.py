@@ -1,8 +1,15 @@
-"""The `python -m repro` experiment runner."""
+"""The `python -m repro` experiment runner and its discovery logic."""
 
 import pytest
 
-from repro.cli import EXPERIMENTS, find_benchmarks_dir, load_experiment, main
+from repro.cli import (
+    BENCH_DIR_ENV,
+    EXPERIMENTS,
+    experiment_description,
+    find_benchmarks_dir,
+    load_experiment,
+    main,
+)
 
 
 class TestDiscovery:
@@ -22,6 +29,32 @@ class TestDiscovery:
             run = load_experiment(bench_dir, exp_id)
             assert callable(run)
 
+    def test_explicit_dir_wins(self):
+        bench_dir = find_benchmarks_dir()
+        assert find_benchmarks_dir(explicit=bench_dir) == bench_dir
+
+    def test_explicit_dir_must_contain_benchmarks(self, tmp_path):
+        assert find_benchmarks_dir(explicit=tmp_path) is None
+
+    def test_env_var_fallback(self, monkeypatch):
+        bench_dir = find_benchmarks_dir()
+        monkeypatch.setenv(BENCH_DIR_ENV, str(bench_dir))
+        assert find_benchmarks_dir() == bench_dir
+
+    def test_env_var_bad_dir_does_not_fall_through(self, monkeypatch,
+                                                   tmp_path):
+        # An explicit-but-wrong location is an error the user should
+        # see, not something to silently paper over.
+        monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path))
+        assert find_benchmarks_dir() is None
+
+    def test_every_experiment_has_a_description(self):
+        bench_dir = find_benchmarks_dir()
+        for exp_id in EXPERIMENTS:
+            description = experiment_description(bench_dir, exp_id)
+            assert description, exp_id
+            assert "\n" not in description
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -30,9 +63,32 @@ class TestMain:
         assert "e1" in out
         assert "f1" in out
 
+    def test_list_shows_descriptions(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "CXL vs NUMA latency and bandwidth" in out
+        assert "CXL fabric vs RDMA networking" in out
+
     def test_unknown_experiment(self, capsys):
         assert main(["e99"]) == 2
         assert "unknown" in capsys.readouterr().err
+
+    def test_bad_bench_dir_is_usage_error(self, tmp_path, capsys):
+        assert main(["e1", "--bench-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "--bench-dir" in err
+        assert "bench_e1_latency_bandwidth.py" in err
+
+    def test_bad_env_bench_dir_names_the_variable(self, monkeypatch,
+                                                  tmp_path, capsys):
+        monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path))
+        assert main(["e1"]) == 2
+        assert BENCH_DIR_ENV in capsys.readouterr().err
+
+    def test_explicit_bench_dir_runs(self, capsys):
+        bench_dir = find_benchmarks_dir()
+        assert main(["e1", "--bench-dir", str(bench_dir)]) == 0
+        assert "E1: CXL vs NUMA" in capsys.readouterr().out
 
     def test_run_one(self, capsys):
         assert main(["e1"]) == 0
@@ -44,3 +100,24 @@ class TestMain:
     def test_run_fast_experiments(self, exp_id, capsys):
         assert main([exp_id]) == 0
         assert "done in" in capsys.readouterr().out
+
+    def test_bad_trace_out_dir_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "dir" / "t.json"
+        assert main(["e1", "--trace-out", str(missing)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_sweep_dispatch(self, capsys):
+        # `repro sweep` routes to the harness parser, whose usage
+        # errors also exit 2.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep"])  # missing SPEC argument
+        assert excinfo.value.code == 2
+
+    def test_console_entry_point(self):
+        from repro.cli import console_main
+        import unittest.mock as mock
+        with mock.patch("repro.cli.main", return_value=0) as mocked:
+            with pytest.raises(SystemExit) as excinfo:
+                console_main()
+        assert excinfo.value.code == 0
+        assert mocked.called
