@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify test lint bench sweep trace-demo clean
+.PHONY: verify test lint bench sweep perfbench trace-demo clean
 
 # The tier-1 gate: what CI runs and what every change must keep green.
 verify: test lint
@@ -26,6 +26,12 @@ sweep:
 	$(PYTHON) -m repro sweep specs/e1_paths.json specs/e2_tiering.json \
 		specs/e4_transfer_ladder.json specs/e7_distribution.json \
 		--jobs 4 --gate
+
+# Wall-clock microbenchmarks of the simulator fast lane, gated against
+# results/bench/BENCH_PR3.json (lane equivalence, digest identity,
+# speedup floors). See docs/performance.md.
+perfbench:
+	$(PYTHON) -m repro perfbench --check
 
 trace-demo:
 	$(PYTHON) examples/quickstart.py --trace-out quickstart.trace.json

@@ -12,17 +12,35 @@ clock using the tier's :class:`~repro.sim.interconnect.AccessPath`.
 ``access()`` returns the *demand latency* — what a query thread waits
 for — while migration/maintenance costs are accounted separately in
 the stats (and also advance the clock).
+
+Execution lanes: the pool exposes three ways to charge accesses that
+produce **bit-identical** simulated state and differ only in
+wall-clock cost.
+
+* :meth:`TieredBufferPool.access` — the scalar path, one page at a
+  time, using the precomputed per-path timing tables.
+* :meth:`TieredBufferPool.access_batch` — the fast lane: a run of
+  accesses sharing one shape (size, read/write, scan flag, think
+  time) is resolved with loop-hoisted bookkeeping and local-variable
+  accumulators, falling back to the scalar path at any boundary (a
+  fault, a tier without timing tables, or a placement-policy trigger
+  point). The per-access float additions to the clock and the demand
+  counters happen in exactly the scalar order, which is what makes
+  the lane byte-identical rather than merely equivalent.
+* :meth:`TieredBufferPool._access_compat` — the frozen pre-table
+  reference (per-access spec arithmetic); the perfbench compat lane
+  measures against it so speedups are computed in-process.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..errors import BufferPoolError, PageFaultError
 from ..sim.clock import SimClock
 from ..sim.context import SimContext
-from ..sim.interconnect import AccessPath
+from ..sim.interconnect import AccessPath, PathTiming
 from ..storage.file import PageFile
 from ..storage.page import Page, PageId
 from ..units import CACHE_LINE
@@ -61,9 +79,14 @@ class Tier:
                    policy=make_policy(policy_name))
 
 
-@dataclass
+#: Below this run length the batched lane falls back to plain scalar
+#: calls: the loop-hoisting setup costs more than it saves.
+MIN_BATCH_RUN = 3
+
+
+@dataclass(slots=True)
 class TierStats:
-    """Per-tier accounting."""
+    """Per-tier accounting (slotted: bumped on every hit)."""
 
     hits: int = 0
     evictions: int = 0
@@ -82,9 +105,9 @@ class TierStats:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferPoolStats:
-    """Pool-wide accounting."""
+    """Pool-wide accounting (slotted: bumped on every access)."""
 
     accesses: int = 0
     misses: int = 0
@@ -174,11 +197,44 @@ class TieredBufferPool:
         self._frames: dict[PageId, Frame] = {}
         self._anonymous_pages: dict[PageId, Page] = {}
         self._resident_counts = [0] * len(self.tiers)
+        self._pinned_frames = 0
         if placement is None:
             from .placement import DbCostPolicy
             placement = DbCostPolicy()
         self.placement = placement
         self.placement.attach(self)
+        #: Batched fast-lane switch; see the module docstring. Off, the
+        #: pool behaves exactly like the pre-fast-lane implementation
+        #: (scalar execution, per-access arithmetic).
+        self.fast_lane = True
+        # Precomputed per-tier timing tables; None for tiers whose path
+        # has no table support (those always take the scalar path).
+        self._tier_timing: list[PathTiming | None] = [
+            self._path_timing(tier.path) for tier in self.tiers
+        ]
+        # Optional batch hooks, resolved once so the fast lane degrades
+        # (to correct scalar behaviour) with custom trackers/policies.
+        self._tracker_batch = getattr(self.tracker, "record_batch", None)
+        headroom = getattr(placement, "fast_headroom", None)
+        note = getattr(placement, "note_accesses", None)
+        self._placement_headroom = headroom if note is not None else None
+        self._placement_note = note if headroom is not None else None
+
+    @staticmethod
+    def _path_timing(path: AccessPath) -> PathTiming | None:
+        """The path's precomputed timing table, if it supports one."""
+        build = getattr(path, "timing", None)
+        if build is None:
+            return None
+        try:
+            return build()
+        except Exception:
+            return None
+
+    def set_fast_lane(self, enabled: bool) -> None:
+        """Toggle the batched fast lane (simulated results are
+        identical either way; only wall-clock changes)."""
+        self.fast_lane = bool(enabled)
 
     # -- introspection -------------------------------------------------------
 
@@ -228,10 +284,17 @@ class TieredBufferPool:
     # -- pinning --------------------------------------------------------------
 
     def pin(self, page_id: PageId) -> None:
-        """Pin a resident page."""
+        """Pin a resident page.
+
+        Pin through the pool (not ``frame.pin()`` directly): the pool
+        counts pinned frames so victim selection can skip the pinned
+        predicate entirely in the no-pins common case.
+        """
         frame = self._frames.get(page_id)
         if frame is None:
             raise BufferPoolError(f"cannot pin non-resident page {page_id}")
+        if not frame.pinned:
+            self._pinned_frames += 1
         frame.pin()
 
     def unpin(self, page_id: PageId) -> None:
@@ -240,6 +303,8 @@ class TieredBufferPool:
         if frame is None:
             raise BufferPoolError(f"cannot unpin non-resident page {page_id}")
         frame.unpin()
+        if not frame.pinned:
+            self._pinned_frames -= 1
 
     # -- the access fast path ---------------------------------------------------
 
@@ -276,13 +341,236 @@ class TieredBufferPool:
             else:
                 latency = (tier.path.read_time_sequential(nbytes)
                            if is_scan else tier.path.read_time(nbytes))
-            tier.policy.record_access(page_id)
-            self.stats.per_tier[frame.tier_index].hits += 1
+            self._register_hit(page_id, frame.tier_index)
         frame.touch(self.clock.now, write=write)
         self.clock.advance(latency)
         self.stats.demand_time_ns += latency
         self.placement.on_access(page_id, frame.tier_index, is_scan=is_scan)
         return latency
+
+    def _access_compat(self, page_id: PageId, nbytes: int = CACHE_LINE,
+                       write: bool = False, is_scan: bool = False) -> float:
+        """The frozen pre-fast-lane :meth:`access`: hit latency derived
+        from specs per call, no tables. Kept verbatim as the perfbench
+        compat lane and the reference the equivalence tests compare the
+        fast lane against. Results are bit-identical to :meth:`access`;
+        only the wall-clock cost differs.
+        """
+        self.stats.accesses += 1
+        self.tracker.record(page_id, is_scan=is_scan)
+        frame = self._frames.get(page_id)
+        if frame is None:
+            latency = self._fault(page_id, is_scan=is_scan)
+            frame = self._frames[page_id]
+            self.stats.misses += 1
+            self.stats.fault_time_ns += latency
+            trace = self._trace
+            if trace.enabled:
+                now = self.clock.now
+                trace.emit_span("pool.fault", "pool", now, now + latency,
+                                {"page": page_id})
+        else:
+            path = self.tiers[frame.tier_index].path
+            if write:
+                latency = (path.write_time_sequential_uncached(nbytes)
+                           if is_scan else path.write_time_uncached(nbytes))
+            else:
+                latency = (path.read_time_sequential_uncached(nbytes)
+                           if is_scan else path.read_time_uncached(nbytes))
+            self._register_hit(page_id, frame.tier_index)
+        frame.touch(self.clock.now, write=write)
+        self.clock.advance(latency)
+        self.stats.demand_time_ns += latency
+        self.placement.on_access(page_id, frame.tier_index, is_scan=is_scan)
+        return latency
+
+    def access_batch(self, page_ids: Sequence[PageId],
+                     nbytes: int = CACHE_LINE, write: bool = False,
+                     is_scan: bool = False, think_ns: float = 0.0,
+                     post_ns: float = 0.0, accum: float = 0.0) -> float:
+        """Charge a run of accesses sharing one shape; the fast lane.
+
+        Semantically (and bit-for-bit) identical to::
+
+            for pid in page_ids:
+                if think_ns:
+                    clock.advance(think_ns)
+                accum += pool.access(pid, nbytes=nbytes, write=write,
+                                     is_scan=is_scan)
+                if post_ns:
+                    clock.advance(post_ns)
+            return accum
+
+        *think_ns* is CPU time charged before each access (workload
+        think time), *post_ns* after it (operator per-page CPU), and
+        *accum* is the caller's running demand accumulator — threading
+        it through keeps the caller's float addition sequence exactly
+        as in the scalar loop.
+
+        Hits on tiers with timing tables are resolved in a tight loop
+        with local accumulators that are written back at run
+        boundaries; a miss, a table-less tier, or a placement trigger
+        point flushes the window and routes that one access through
+        the scalar path, so eviction, migration, and rebalance
+        decisions see exactly the state they would have scalar-wise.
+        """
+        if think_ns < 0 or post_ns < 0:
+            raise BufferPoolError("think_ns and post_ns must be >= 0")
+        seq = page_ids if hasattr(page_ids, "__getitem__") \
+            else list(page_ids)
+        n = len(seq)
+        if n == 0:
+            return accum
+        clock = self.clock
+        if not self.fast_lane:
+            advance = clock.advance
+            compat = self._access_compat
+            for pid in seq:
+                if think_ns:
+                    advance(think_ns)
+                accum += compat(pid, nbytes, write, is_scan)
+                if post_ns:
+                    advance(post_ns)
+            return accum
+        if n < MIN_BATCH_RUN:
+            advance = clock.advance
+            access = self.access
+            for pid in seq:
+                if think_ns:
+                    advance(think_ns)
+                accum += access(pid, nbytes=nbytes, write=write,
+                                is_scan=is_scan)
+                if post_ns:
+                    advance(post_ns)
+            return accum
+        stats = self.stats
+        frames_get = self._frames.get
+        tier_timing = self._tier_timing
+        headroom_fn = self._placement_headroom
+        note = self._placement_note
+        tracker_batch = self._tracker_batch
+        tracker_record = self.tracker.record
+        i = 0
+        while i < n:
+            headroom = headroom_fn() if headroom_fn is not None else 0
+            if headroom <= 0:
+                # A placement trigger (or a policy without batch
+                # support): route one access through the scalar path.
+                if think_ns:
+                    clock.advance(think_ns)
+                accum += self.access(seq[i], nbytes=nbytes, write=write,
+                                     is_scan=is_scan)
+                if post_ns:
+                    clock.advance(post_ns)
+                i += 1
+                continue
+            end = i + headroom
+            if end > n:
+                end = n
+            win_start = i
+            # Local accumulators mirror clock/stats state; per-access
+            # additions below happen in exactly the scalar order, so
+            # the written-back floats are bit-identical.
+            now = clock._now
+            pool_demand = stats.demand_time_ns
+            cur_tier = -1
+            seg_start = i
+            lat = 0.0
+            boundary = False
+            while i < end:
+                frame = frames_get(seq[i])
+                if frame is None:
+                    boundary = True
+                    break
+                tier_index = frame.tier_index
+                if tier_index != cur_tier:
+                    if seg_start < i:
+                        self._flush_segment(seq, seg_start, i, cur_tier,
+                                            nbytes, write)
+                    timing = tier_timing[tier_index]
+                    if timing is None:
+                        boundary = True
+                        break
+                    cur_tier = tier_index
+                    seg_start = i
+                    if write:
+                        lat = (timing.seq_write_latency_ns if is_scan
+                               else timing.write_latency_ns
+                               ) + timing.write_transfer.time_ns(nbytes)
+                    else:
+                        lat = (timing.seq_read_latency_ns if is_scan
+                               else timing.read_latency_ns
+                               ) + timing.read_transfer.time_ns(nbytes)
+                if think_ns:
+                    now += think_ns
+                # Inlined frame.touch at the pre-advance clock value,
+                # as in the scalar path.
+                frame.accesses += 1
+                frame.last_access_ns = now
+                if write:
+                    frame.dirty = True
+                now += lat
+                pool_demand += lat
+                accum += lat
+                if post_ns:
+                    now += post_ns
+                i += 1
+            if seg_start < i:
+                self._flush_segment(seq, seg_start, i, cur_tier,
+                                    nbytes, write)
+            count = i - win_start
+            if count:
+                stats.accesses += count
+                stats.demand_time_ns = pool_demand
+                clock._now = now
+                if tracker_batch is not None:
+                    tracker_batch(seq, win_start, i, is_scan)
+                else:
+                    for j in range(win_start, i):
+                        tracker_record(seq[j], is_scan=is_scan)
+                note(seq, win_start, i, is_scan)
+            if boundary:
+                # The access that broke the window (fault or table-less
+                # tier) resolves scalar, after the flush above so it
+                # observes fully up-to-date state.
+                if think_ns:
+                    clock.advance(think_ns)
+                accum += self.access(seq[i], nbytes=nbytes, write=write,
+                                     is_scan=is_scan)
+                if post_ns:
+                    clock.advance(post_ns)
+                i += 1
+        return accum
+
+    def _flush_segment(self, seq: Sequence[PageId], start: int, end: int,
+                       tier_index: int, nbytes: int, write: bool) -> None:
+        """Apply the deferred per-tier bookkeeping of a same-tier run:
+        replacement recency, hit counters, device traffic. Counter
+        order within a window does not affect simulated results (they
+        are integers read only at scalar boundaries)."""
+        count = end - start
+        tier = self.tiers[tier_index]
+        policy = tier.policy
+        batch = getattr(policy, "record_access_batch", None)
+        if batch is not None:
+            batch(seq, start, end)
+        else:
+            record = policy.record_access
+            for i in range(start, end):
+                record(seq[i])
+        self.stats.per_tier[tier_index].hits += count
+        device_stats = tier.path.device.stats
+        if write:
+            device_stats.stores += count
+            device_stats.store_bytes += count * nbytes
+        else:
+            device_stats.loads += count
+            device_stats.load_bytes += count * nbytes
+
+    def _register_hit(self, page_id: PageId, tier_index: int) -> None:
+        """Shared hit bookkeeping for the scalar access paths."""
+        self.tiers[tier_index].policy.record_access(page_id)
+        self.stats.per_tier[tier_index].hits += 1
 
     def access_at(self, page_id: PageId, now_ns: float,
                   nbytes: int = CACHE_LINE, write: bool = False,
@@ -316,8 +604,7 @@ class TieredBufferPool:
                 completion = tier.path.write_completion(nbytes, now_ns)
             else:
                 completion = tier.path.read_completion(nbytes, now_ns)
-            tier.policy.record_access(page_id)
-            self.stats.per_tier[frame.tier_index].hits += 1
+            self._register_hit(page_id, frame.tier_index)
         frame.touch(now_ns, write=write)
         self.stats.demand_time_ns += completion - now_ns
         return completion
@@ -331,10 +618,7 @@ class TieredBufferPool:
             t = self.backing.device.read_completion(self.page_size,
                                                     now_ns)
         else:
-            page = self._anonymous_pages.get(page_id)
-            if page is None:
-                page = Page(page_id=page_id, size_bytes=self.page_size)
-                self._anonymous_pages[page_id] = page
+            page = self._anonymous(page_id)
             t = now_ns
         tier_index = self.placement.choose_admit_tier(page_id,
                                                       is_scan=is_scan)
@@ -347,10 +631,9 @@ class TieredBufferPool:
         tier = self.tiers[tier_index]
         completion = tier.path.write_completion(self.page_size,
                                                 t + make_room)
-        frame = Frame(page=page, tier_index=tier_index)
-        self._frames[page_id] = frame
-        self._resident_counts[tier_index] += 1
-        tier.policy.record_insert(page_id)
+        # The contended path never tracked resident_peak (it belongs
+        # to the analytic lane's reports); keep that behaviour.
+        self._install(page, tier_index, update_peak=False)
         self.stats.fault_time_ns += completion - now_ns
         return page, completion
 
@@ -374,16 +657,8 @@ class TieredBufferPool:
                 f"placement chose invalid tier {tier_index}"
             )
         make_room_time = self._make_room(tier_index)
-        tier = self.tiers[tier_index]
-        install_time = tier.path.write_time(self.page_size)
-        frame = Frame(page=page, tier_index=tier_index)
-        self._frames[page_id] = frame
-        self._resident_counts[tier_index] += 1
-        tier.policy.record_insert(page_id)
-        tier_stats = self.stats.per_tier[tier_index]
-        tier_stats.resident_peak = max(
-            tier_stats.resident_peak, self.tier_residents(tier_index)
-        )
+        install_time = self.tiers[tier_index].path.write_time(self.page_size)
+        self._install(page, tier_index)
         return io_time + make_room_time + install_time
 
     def _read_backing(self, page_id: PageId) -> tuple[Page, float]:
@@ -393,11 +668,31 @@ class TieredBufferPool:
             self.backing.ensure(page_id)
             return self.backing.read_page(page_id)
         # No backing: anonymous page, materialized free on first touch.
+        return self._anonymous(page_id), 0.0
+
+    def _anonymous(self, page_id: PageId) -> Page:
+        """The anonymous (backing-less) page, created on first touch."""
         page = self._anonymous_pages.get(page_id)
         if page is None:
             page = Page(page_id=page_id, size_bytes=self.page_size)
             self._anonymous_pages[page_id] = page
-        return page, 0.0
+        return page
+
+    def _install(self, page: Page, tier_index: int,
+                 update_peak: bool = True) -> Frame:
+        """Make a materialized page resident in a tier: frame, residency
+        count, replacement tracking, and (for the analytic lane) the
+        tier's resident_peak high-water mark."""
+        frame = Frame(page=page, tier_index=tier_index)
+        self._frames[page.page_id] = frame
+        self._resident_counts[tier_index] += 1
+        self.tiers[tier_index].policy.record_insert(page.page_id)
+        if update_peak:
+            tier_stats = self.stats.per_tier[tier_index]
+            tier_stats.resident_peak = max(
+                tier_stats.resident_peak, self.tier_residents(tier_index)
+            )
+        return frame
 
     def _make_room(self, tier_index: int) -> float:
         """Ensure one free frame in a tier; returns elapsed ns."""
@@ -414,7 +709,13 @@ class TieredBufferPool:
     def _evict_one(self, tier_index: int) -> float:
         """Evict or demote one page out of a tier; returns elapsed ns."""
         tier = self.tiers[tier_index]
-        victim_id = tier.policy.victim(self._is_pinned)
+        # Only pay for the pinned predicate when something is actually
+        # pinned; with the default predicate LRU victim selection is
+        # O(1) instead of a scan through the recency order.
+        if self._pinned_frames:
+            victim_id = tier.policy.victim(self._is_pinned)
+        else:
+            victim_id = tier.policy.victim()
         if victim_id is None:
             raise PageFaultError(
                 f"tier {tier.name}: all frames pinned, cannot evict"
@@ -553,16 +854,17 @@ class TieredBufferPool:
             raise BufferPoolError(
                 f"tier {self.tiers[tier_index].name} full; cannot adopt"
             )
-        self._frames[page.page_id] = Frame(page=page, tier_index=tier_index)
-        self._resident_counts[tier_index] += 1
-        self.tiers[tier_index].policy.record_insert(page.page_id)
+        self._install(page, tier_index, update_peak=False)
 
     def drop_all(self) -> None:
         """Empty the pool without timing (test/reset helper)."""
-        for page_id, frame in list(self._frames.items()):
+        # policy.remove does not touch self._frames, so no snapshot
+        # copy of the frame map is needed.
+        for page_id, frame in self._frames.items():
             self.tiers[frame.tier_index].policy.remove(page_id)
         self._frames.clear()
         self._resident_counts = [0] * len(self.tiers)
+        self._pinned_frames = 0
 
     def __repr__(self) -> str:
         tiers = ", ".join(

@@ -17,7 +17,7 @@ structures span conventional and CXL memory?
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 from ..errors import BufferPoolError
 from .temperature import ExactTracker, SampledTracker
@@ -43,9 +43,32 @@ class PlacementPolicy(Protocol):
         """Where evictions from a tier drain: a slower tier index, or
         None for backing storage."""
 
+    def fast_headroom(self) -> int:
+        """How many consecutive accesses :meth:`on_access` could
+        observe *right now* without any side effect (migration,
+        rebalance, promotion pass). The buffer pool's fast lane
+        processes at most this many accesses analytically, then routes
+        the next one through the scalar path so periodic triggers fire
+        with exactly the state they would have seen access-by-access.
+        Returning 0 disables batching (the safe default)."""
+
+    def note_accesses(self, page_ids: Sequence[int], start: int,
+                      end: int, is_scan: bool = False) -> None:
+        """Observe ``page_ids[start:end]`` at once. Called by the fast
+        lane only for runs within :meth:`fast_headroom`, so the
+        implementation must be side-effect-equivalent to the scalar
+        :meth:`on_access` loop minus the (unreachable) periodic
+        triggers."""
+
 
 class _BasePolicy:
-    """Shared plumbing: pool binding and cascade demotion."""
+    """Shared plumbing: pool binding and cascade demotion.
+
+    Subclasses that override :meth:`on_access` with *periodic* side
+    effects must override :meth:`fast_headroom` /
+    :meth:`note_accesses` in tandem; the inherited defaults disable
+    batching entirely, which is always correct, just slower.
+    """
 
     def __init__(self) -> None:
         self._pool: "TieredBufferPool | None" = None
@@ -53,6 +76,19 @@ class _BasePolicy:
     def attach(self, pool: "TieredBufferPool") -> None:
         """Bind to the owning pool."""
         self._pool = pool
+
+    def fast_headroom(self) -> int:
+        """Conservative default: no batching, every access observed
+        through :meth:`on_access`."""
+        return 0
+
+    def note_accesses(self, page_ids: Sequence[int], start: int,
+                      end: int, is_scan: bool = False) -> None:
+        """Unreachable under the zero default headroom."""
+        raise BufferPoolError(
+            f"{type(self).__name__}.note_accesses called despite a"
+            " zero fast_headroom; override both together"
+        )
 
     @property
     def pool(self) -> "TieredBufferPool":
@@ -90,6 +126,14 @@ class StaticPolicy(_BasePolicy):
     def on_access(self, page_id: int, tier_index: int,
                   is_scan: bool = False) -> None:
         """Static placement: nothing to do."""
+
+    def fast_headroom(self) -> int:
+        """No periodic triggers: runs of any length are safe."""
+        return 1 << 30
+
+    def note_accesses(self, page_ids: Sequence[int], start: int,
+                      end: int, is_scan: bool = False) -> None:
+        """Static placement observes nothing."""
 
     def demote_target(self, tier_index: int) -> int | None:
         """Straight to storage — tiers are isolated."""
@@ -147,6 +191,19 @@ class OSPagingPolicy(_BasePolicy):
         if self._accesses % self.check_interval == 0:
             self._demote_pass()
             self._promote_pass()
+
+    def fast_headroom(self) -> int:
+        """Accesses until the next demote/promote check could fire."""
+        return self.check_interval - 1 - (
+            self._accesses % self.check_interval
+        )
+
+    def note_accesses(self, page_ids: Sequence[int], start: int,
+                      end: int, is_scan: bool = False) -> None:
+        """Feed the sampler and advance the check counter; by the
+        headroom contract no check boundary lies inside the run."""
+        self.tracker.record_batch(page_ids, start, end, is_scan=is_scan)
+        self._accesses += end - start
 
     def _demote_pass(self) -> None:
         """kswapd-style: keep the fast tier below its high watermark by
@@ -244,6 +301,20 @@ class DbCostPolicy(_BasePolicy):
         self._accesses += 1
         if self._accesses % self.rebalance_interval == 0:
             self.rebalance()
+
+    def fast_headroom(self) -> int:
+        """Accesses until the next rebalance could fire."""
+        return self.rebalance_interval - 1 - (
+            self._accesses % self.rebalance_interval
+        )
+
+    def note_accesses(self, page_ids: Sequence[int], start: int,
+                      end: int, is_scan: bool = False) -> None:
+        """Advance the rebalance counter (the pool feeds the shared
+        tracker); by the headroom contract no rebalance boundary lies
+        inside the run."""
+        del page_ids, is_scan
+        self._accesses += end - start
 
     def rebalance(self) -> int:
         """Promote the hottest misplaced pages / demote the coldest.

@@ -13,7 +13,7 @@ these policies are the engine-side machinery that claim rests on.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 from ..errors import BufferPoolError
 
@@ -32,6 +32,13 @@ class ReplacementPolicy(Protocol):
 
     def record_access(self, key: int) -> None:
         """An existing page was touched."""
+
+    def record_access_batch(self, keys: Sequence[int], start: int,
+                            end: int) -> None:
+        """Touch ``keys[start:end]`` in order; equivalent to calling
+        :meth:`record_access` once per element. Policies may override
+        with a loop-hoisted implementation; recency state after the
+        batch must be identical to the scalar loop's."""
 
     def remove(self, key: int) -> None:
         """A page left the tier (evicted or migrated)."""
@@ -61,12 +68,32 @@ class LRUPolicy:
             raise BufferPoolError(f"access to untracked {key}")
         self._order.move_to_end(key)
 
+    def record_access_batch(self, keys: Sequence[int], start: int,
+                            end: int) -> None:
+        """Move a run of pages to the MRU end, in order."""
+        move = self._order.move_to_end
+        i = start
+        try:
+            while i < end:
+                move(keys[i])
+                i += 1
+        except KeyError:
+            raise BufferPoolError(
+                f"access to untracked {keys[i]}"
+            ) from None
+
     def remove(self, key: int) -> None:
         """Stop tracking a page."""
         self._order.pop(key, None)
 
     def victim(self, pinned: Pinned = _never_pinned) -> int | None:
-        """The least-recently-used unpinned page."""
+        """The least-recently-used unpinned page.
+
+        With no pinned pages (the common case, signalled by the
+        default predicate) this is O(1): the LRU end of the order.
+        """
+        if pinned is _never_pinned:
+            return next(iter(self._order), None)
         for key in self._order:
             if not pinned(key):
                 return key
@@ -94,19 +121,35 @@ class ClockPolicy:
             raise BufferPoolError(f"access to untracked {key}")
         self._ref[key] = True
 
+    def record_access_batch(self, keys: Sequence[int], start: int,
+                            end: int) -> None:
+        """Set reference bits for a run of pages, in order."""
+        ref = self._ref
+        for i in range(start, end):
+            key = keys[i]
+            if key not in ref:
+                raise BufferPoolError(f"access to untracked {key}")
+            ref[key] = True
+
     def remove(self, key: int) -> None:
         """Stop tracking a page."""
         self._ref.pop(key, None)
 
     def victim(self, pinned: Pinned = _never_pinned) -> int | None:
         """Sweep: clear reference bits until an unreferenced,
-        unpinned page is found (at most two passes)."""
+        unpinned page is found (at most two passes).
+
+        The sweep itself is inherent to CLOCK, but with the default
+        (no pins) predicate the per-candidate pinned call is skipped,
+        keeping the hand movement amortized O(1) per eviction.
+        """
         if not self._ref:
             return None
+        check_pins = pinned is not _never_pinned
         for _sweep in range(2 * len(self._ref)):
             key, referenced = next(iter(self._ref.items()))
             self._ref.move_to_end(key)
-            if pinned(key):
+            if check_pins and pinned(key):
                 continue
             if referenced:
                 self._ref[key] = False
@@ -155,6 +198,13 @@ class TwoQPolicy:
             self._am.move_to_end(key)
         else:
             raise BufferPoolError(f"access to untracked {key}")
+
+    def record_access_batch(self, keys: Sequence[int], start: int,
+                            end: int) -> None:
+        """Touch a run of pages, in order (promotions included)."""
+        record = self.record_access
+        for i in range(start, end):
+            record(keys[i])
 
     def remove(self, key: int) -> None:
         """Stop tracking a page."""
@@ -208,6 +258,13 @@ class LRUKPolicy:
             raise BufferPoolError(f"access to untracked {key}")
         self._tick += 1
         self._history[key].append(self._tick)
+
+    def record_access_batch(self, keys: Sequence[int], start: int,
+                            end: int) -> None:
+        """Record reference timestamps for a run of pages, in order."""
+        record = self.record_access
+        for i in range(start, end):
+            record(keys[i])
 
     def remove(self, key: int) -> None:
         """Stop tracking a page."""

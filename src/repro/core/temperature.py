@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
 from ..errors import ConfigError
 
@@ -28,6 +28,14 @@ class TemperatureTracker(Protocol):
 
     def record(self, page_id: int, is_scan: bool = False) -> None:
         """Observe one access to a page."""
+
+    def record_batch(self, page_ids: Sequence[int], start: int, end: int,
+                     is_scan: bool = False) -> None:
+        """Observe ``page_ids[start:end]`` in order, equivalent to
+        calling :meth:`record` once per element. Batch implementations
+        must preserve per-access semantics exactly (aging epochs fire
+        at the same access index, sampling consumes the same RNG
+        draws) — the buffer pool's fast lane relies on it."""
 
     def heat(self, page_id: int) -> float:
         """Current hotness estimate (higher = hotter)."""
@@ -73,6 +81,28 @@ class ExactTracker:
         self._since_epoch += 1
         if self._since_epoch >= self.epoch_accesses:
             self._age()
+
+    def record_batch(self, page_ids: Sequence[int], start: int, end: int,
+                     is_scan: bool = False) -> None:
+        """Observe a run of accesses; equivalent to a :meth:`record`
+        loop, with the dict lookups and epoch bookkeeping hoisted.
+        Aging fires at exactly the same access index as it would in
+        the scalar loop."""
+        weight = self.scan_weight if is_scan else 1.0
+        heat = self._heat
+        heat_get = heat.get
+        since = self._since_epoch
+        epoch = self.epoch_accesses
+        for i in range(start, end):
+            pid = page_ids[i]
+            heat[pid] = heat_get(pid, 0.0) + weight
+            since += 1
+            if since >= epoch:
+                self._age()
+                since = 0
+                heat = self._heat  # _age rebuilds the dict
+                heat_get = heat.get
+        self._since_epoch = since
 
     def _age(self) -> None:
         self._since_epoch = 0
@@ -137,6 +167,31 @@ class SampledTracker:
         if self._rng.random() >= self.sample_rate:
             return
         self._heat[page_id] = self._heat.get(page_id, 0.0) + 1.0
+
+    def record_batch(self, page_ids: Sequence[int], start: int, end: int,
+                     is_scan: bool = False) -> None:
+        """Observe a run of accesses; equivalent to a :meth:`record`
+        loop. One RNG draw per access in the same order, so sampled
+        histories stay identical between scalar and batched paths."""
+        del is_scan
+        rng_random = self._rng.random
+        rate = self.sample_rate
+        heat = self._heat
+        heat_get = heat.get
+        since = self._since_epoch
+        epoch = self.epoch_accesses
+        for i in range(start, end):
+            since += 1
+            if since >= epoch:
+                self._age()
+                since = 0
+                heat = self._heat
+                heat_get = heat.get
+            if rng_random() >= rate:
+                continue
+            pid = page_ids[i]
+            heat[pid] = heat_get(pid, 0.0) + 1.0
+        self._since_epoch = since
 
     def _age(self) -> None:
         self._since_epoch = 0

@@ -1,0 +1,31 @@
+"""Wall-clock performance benchmarking for the simulator itself.
+
+Unlike ``benchmarks/`` (which measures *simulated* time — the physics),
+``repro.perf`` measures *wall-clock* time — how fast the simulator runs
+on the host. The perfbench harness times a small set of microbenchmarks
+in both the batched fast lane and the scalar compat lane, asserts that
+both lanes produce byte-identical simulated results, and gates the
+speedup ratio against a committed baseline (``results/bench/``) so CI
+fails on wall-clock regressions the same way the sweep gate fails on
+shape regressions.
+"""
+
+from .bench import MICROBENCHES, BenchSpec, run_microbench
+from .runner import (
+    BENCH_BASELINE_PATH,
+    check_report,
+    load_baseline,
+    run_perfbench,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_BASELINE_PATH",
+    "BenchSpec",
+    "MICROBENCHES",
+    "check_report",
+    "load_baseline",
+    "run_microbench",
+    "run_perfbench",
+    "write_report",
+]

@@ -1,0 +1,209 @@
+"""Microbenchmark definitions for ``repro perfbench``.
+
+Each microbenchmark builds a fresh engine, optionally warms the pool,
+and times a single workload drive through the simulator hot path. The
+same workload runs in two lanes:
+
+* ``fast`` — the batched fast lane (``BufferPool.access_batch`` +
+  precomputed latency tables), the default execution mode.
+* ``compat`` — the scalar reference lane that recomputes per-access
+  arithmetic the way the pre-fast-lane simulator did.
+
+Both lanes must produce **byte-identical simulated results**; the
+digest of the run report is part of the benchmark output and is
+compared across lanes (and against the committed baseline) so a fast
+lane that drifts from the physics fails loudly, not quietly.
+
+Traces are materialised into lists before the timed region so the
+measurement captures the simulator hot path, not the trace generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.engine import EngineReport, ScaleUpEngine
+from ..errors import ConfigError
+from ..workloads.scans import mixed_htap_trace, scan_trace
+from ..workloads.ycsb import YCSBConfig, ycsb_trace
+
+
+@dataclass(frozen=True, slots=True)
+class BenchSpec:
+    """A named wall-clock microbenchmark with its speedup floor."""
+
+    name: str
+    description: str
+    min_speedup: float
+    builder: Callable[[float], tuple[ScaleUpEngine, list]]
+
+
+def _set_lane(engine: ScaleUpEngine, fast: bool) -> None:
+    """Select the execution lane on *engine*'s pool.
+
+    Tolerates pools that predate the fast lane (everything is then the
+    scalar path) so the harness can record pre-change timings.
+    """
+    pool = engine.pool
+    if hasattr(pool, "set_fast_lane"):
+        pool.set_fast_lane(fast)
+
+
+def _digest_report(engine: ScaleUpEngine, report: EngineReport) -> str:
+    """A content digest over every simulated quantity the run produced.
+
+    Floats are serialised with ``repr`` so the digest is sensitive to
+    the last ulp — the byte-identity contract, not an approximation.
+    """
+    stats = engine.pool.stats
+    payload = {
+        "total_ns": repr(report.total_ns),
+        "demand_ns": repr(report.demand_ns),
+        "think_ns": repr(report.think_ns),
+        "ops": report.ops,
+        "misses": report.misses,
+        "migrations": report.migrations,
+        "hit_rate": repr(report.hit_rate),
+        "tier_hit_rates": [repr(rate) for rate in report.tier_hit_rates],
+        "clock_now": repr(engine.pool.clock.now),
+        "pool": {
+            "accesses": stats.accesses,
+            "misses": stats.misses,
+            "writebacks": stats.writebacks,
+            "migrations": stats.migrations,
+            "demand_time_ns": repr(stats.demand_time_ns),
+            "fault_time_ns": repr(stats.fault_time_ns),
+            "migration_time_ns": repr(stats.migration_time_ns),
+            "per_tier": [tier.snapshot() for tier in stats.per_tier],
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- microbenchmark builders -------------------------------------------------
+#
+# Builders return ``(engine, trace)`` with the pool already warmed; the
+# runner times only ``engine.run(trace)``. ``scale`` shrinks the
+# workload for tests (scale < 1) without changing its shape.
+
+
+def _scan_builder(scale: float) -> tuple[ScaleUpEngine, list]:
+    """Sequential scan over a CXL-resident table: the E5/A8 shape.
+
+    After warming, every access is a tier hit, so the run measures the
+    pure hit-path cost — where the batched lane amortises per-access
+    bookkeeping over whole page runs.
+    """
+    pages = max(64, int(3000 * scale))
+    repeats = 8
+    engine = ScaleUpEngine.build(
+        dram_pages=max(32, pages // 6),
+        cxl_pages=pages + pages // 2,
+        name="perf-scan",
+    )
+    engine.warm_with(scan_trace(0, pages, repeats=1, think_ns=0.0))
+    trace = list(scan_trace(0, pages, repeats=repeats))
+    return engine, trace
+
+
+def _oltp_builder(scale: float) -> tuple[ScaleUpEngine, list]:
+    """Zipfian YCSB-B point traffic over a DRAM+CXL split: the E7 shape.
+
+    The working set fits across DRAM + CXL — the paper's capacity
+    thesis — so after warming the run is hit-dominated: short mixed
+    read/write runs, live migrations from the cost-based placement
+    policy, and frequent coalescer flushes at write boundaries.
+    """
+    pages = max(64, int(3000 * scale))
+    ops = max(256, int(30_000 * scale))
+    engine = ScaleUpEngine.build(
+        dram_pages=max(16, pages // 5),
+        cxl_pages=pages,
+        name="perf-oltp",
+    )
+    # Fault every page in, then heat the Zipf head so placement has
+    # realistic temperatures (and live promotions) during the run.
+    engine.warm_with(scan_trace(0, pages, repeats=1, think_ns=0.0))
+    engine.warm_with(ycsb_trace(YCSBConfig(
+        mix="C", num_pages=pages, num_ops=min(ops, 4 * pages), seed=7,
+    )))
+    trace = list(ycsb_trace(YCSBConfig(
+        mix="B", num_pages=pages, num_ops=ops, seed=11,
+    )))
+    return engine, trace
+
+
+def _htap_builder(scale: float) -> tuple[ScaleUpEngine, list]:
+    """Interleaved OLTP + scan traffic (Sec 3.1 interference mix).
+
+    With ``oltp_per_olap=1`` the access shape changes on *every*
+    operation, so each coalesced run has length one and the batch lane
+    degenerates to its scalar fallback — this bench guards the floor
+    of the optimisation (timing tables only), not its ceiling.
+    """
+    oltp_pages = max(64, int(1500 * scale))
+    olap_pages = max(64, int(4000 * scale))
+    engine = ScaleUpEngine.build(
+        dram_pages=max(32, oltp_pages),
+        cxl_pages=olap_pages + olap_pages // 2,
+        name="perf-htap",
+    )
+    engine.warm_with(scan_trace(0, oltp_pages + olap_pages, repeats=1,
+                                think_ns=0.0))
+    trace = list(mixed_htap_trace(
+        oltp_pages=oltp_pages,
+        olap_pages=olap_pages,
+        oltp_ops=max(256, int(8_000 * scale)),
+        olap_repeats=2,
+        oltp_per_olap=1,
+        seed=23,
+    ))
+    return engine, trace
+
+
+MICROBENCHES: dict[str, BenchSpec] = {
+    "scan": BenchSpec(
+        name="scan",
+        description="sequential scan, warm CXL-resident table (hit path)",
+        min_speedup=3.0,
+        builder=_scan_builder,
+    ),
+    "oltp": BenchSpec(
+        name="oltp",
+        description="zipfian YCSB-B point traffic, DRAM+CXL with live placement",
+        min_speedup=1.5,
+        builder=_oltp_builder,
+    ),
+    "htap": BenchSpec(
+        name="htap",
+        description="per-op alternating OLTP/scan mix (coalescer worst case)",
+        min_speedup=1.0,
+        builder=_htap_builder,
+    ),
+}
+
+
+def run_microbench(name: str, fast: bool,
+                   scale: float = 1.0) -> tuple[float, str]:
+    """Run one microbenchmark in one lane.
+
+    Returns ``(wall_seconds, sim_digest)`` where the digest covers every
+    simulated quantity of the run (clock, demand time, pool counters).
+    """
+    spec = MICROBENCHES.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown microbenchmark {name!r};"
+            f" known: {', '.join(sorted(MICROBENCHES))}"
+        )
+    engine, trace = spec.builder(scale)
+    _set_lane(engine, fast)
+    start = time.perf_counter()
+    report = engine.run(trace, label=f"perf:{name}")
+    wall_s = time.perf_counter() - start
+    return wall_s, _digest_report(engine, report)

@@ -1,0 +1,130 @@
+"""``repro perfbench`` — time the simulator's own hot path.
+
+Examples::
+
+    repro perfbench                      # run + print the table
+    repro perfbench --out results/bench/BENCH_PR3.json
+    repro perfbench --check              # gate against the committed baseline
+    repro perfbench --benches scan,oltp --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from .bench import MICROBENCHES
+from .runner import (
+    BENCH_BASELINE_PATH,
+    DEFAULT_TOLERANCE,
+    check_report,
+    load_baseline,
+    run_perfbench,
+    write_report,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro perfbench",
+        description=(
+            "Wall-clock microbenchmarks of the simulator hot path:"
+            " batched fast lane vs scalar compat lane, with simulated"
+            " results asserted byte-identical between the two."
+        ),
+    )
+    parser.add_argument(
+        "--benches",
+        help="comma-separated subset to run"
+             f" (default: all of {', '.join(sorted(MICROBENCHES))})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="repetitions per (bench, lane); minimum wall time is kept",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (shrink for smoke tests)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate the run against the committed baseline"
+             f" ({BENCH_BASELINE_PATH}); non-zero exit on failure",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=str(BENCH_BASELINE_PATH),
+        help="baseline file for --check",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="fraction of each bench's speedup floor required by"
+             " --check (generous by default to absorb runner noise)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-repetition progress lines",
+    )
+    return parser
+
+
+def _print_table(report: dict, stream) -> None:
+    rows = [("bench", "compat (s)", "fast (s)", "speedup", "floor", "equal")]
+    for name, entry in sorted(report.get("benches", {}).items()):
+        rows.append((
+            name,
+            f"{entry.get('compat_wall_s', float('nan')):.4f}",
+            f"{entry.get('fast_wall_s', float('nan')):.4f}",
+            f"{entry.get('speedup', float('nan')):.2f}x",
+            f"{entry.get('min_speedup', 1.0):.1f}x",
+            "yes" if entry.get("lanes_equivalent") else "NO",
+        ))
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    for i, row in enumerate(rows):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        print(line.rstrip(), file=stream)
+        if i == 0:
+            print("  ".join("-" * width for width in widths), file=stream)
+
+
+def perfbench_main(argv: list[str]) -> int:
+    """Entry point for ``repro perfbench``; returns an exit code."""
+    args = _build_parser().parse_args(argv)
+    benches = None
+    if args.benches:
+        benches = [name.strip() for name in args.benches.split(",")
+                   if name.strip()]
+
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(f"  {message}", file=sys.stderr)
+
+    try:
+        report = run_perfbench(
+            benches=benches,
+            repeats=args.repeats,
+            scale=args.scale,
+            progress=progress,
+        )
+        _print_table(report, sys.stdout)
+        if args.out:
+            out = write_report(report, args.out)
+            print(f"report written to {out}", file=sys.stderr)
+        if args.check:
+            baseline = load_baseline(args.baseline)
+            failures = check_report(
+                report, baseline, tolerance=args.tolerance
+            )
+            if failures:
+                for failure in failures:
+                    print(f"PERFBENCH FAIL: {failure}", file=sys.stderr)
+                return 1
+            print("perfbench gate: PASS", file=sys.stderr)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0

@@ -1,0 +1,167 @@
+"""Perfbench runner: time microbenchmarks, write and gate reports.
+
+The committed baseline (``results/bench/BENCH_PR3.json``) records both
+the machine-specific wall-clock numbers from the machine that produced
+it *and* machine-independent facts: the simulated-result digest per
+bench and the fast/compat speedup ratio. ``--check`` re-runs the
+benches and fails if
+
+* the fast and compat lanes disagree on simulated results (byte-identity
+  broken),
+* a bench's digest differs from the committed one (the physics drifted),
+* the measured speedup falls below ``min_speedup * tolerance`` (the
+  fast lane regressed; tolerance is generous to absorb runner noise).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable
+
+from ..errors import ConfigError
+from .bench import MICROBENCHES, run_microbench
+
+BENCH_BASELINE_PATH = Path("results/bench/BENCH_PR3.json")
+SCHEMA = "repro.perfbench/v1"
+
+# CI runners are noisy shared machines; require only this fraction of
+# each bench's nominal speedup floor by default.
+DEFAULT_TOLERANCE = 0.5
+
+
+def run_perfbench(
+    benches: list[str] | None = None,
+    repeats: int = 3,
+    scale: float = 1.0,
+    lanes: tuple[str, ...] = ("compat", "fast"),
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Time each microbenchmark in each lane; return a report dict.
+
+    Each (bench, lane) pair is run *repeats* times on a freshly built
+    engine and the minimum wall time is kept — the standard defence
+    against scheduler noise. Simulated digests must agree across every
+    repetition and lane of a bench; disagreement is recorded (and later
+    failed by :func:`check_report`), not raised, so a broken lane still
+    produces a report to inspect.
+    """
+    if repeats <= 0:
+        raise ConfigError("repeats must be positive")
+    if scale <= 0:
+        raise ConfigError("scale must be positive")
+    names = benches if benches is not None else sorted(MICROBENCHES)
+    results: dict[str, dict] = {}
+    for name in names:
+        spec = MICROBENCHES.get(name)
+        if spec is None:
+            raise ConfigError(
+                f"unknown microbenchmark {name!r};"
+                f" known: {', '.join(sorted(MICROBENCHES))}"
+            )
+        walls: dict[str, float] = {}
+        digests: dict[str, str] = {}
+        for lane in lanes:
+            fast = lane == "fast"
+            best = float("inf")
+            lane_digest = None
+            for rep in range(repeats):
+                if progress:
+                    progress(f"{name}/{lane} rep {rep + 1}/{repeats}")
+                wall_s, digest = run_microbench(name, fast=fast, scale=scale)
+                best = min(best, wall_s)
+                if lane_digest is None:
+                    lane_digest = digest
+                elif lane_digest != digest:
+                    lane_digest = "nondeterministic"
+            walls[lane] = best
+            digests[lane] = lane_digest or "missing"
+        unique = set(digests.values())
+        equivalent = len(unique) == 1 and "nondeterministic" not in unique
+        entry = {
+            "description": spec.description,
+            "min_speedup": spec.min_speedup,
+            "sim_digest": digests[lanes[0]],
+            "lanes_equivalent": equivalent,
+        }
+        for lane in lanes:
+            entry[f"{lane}_wall_s"] = round(walls[lane], 6)
+        if "compat" in walls and "fast" in walls and walls["fast"] > 0:
+            entry["speedup"] = round(walls["compat"] / walls["fast"], 3)
+        results[name] = entry
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "recorded": time.strftime("%Y-%m-%d"),
+        "benches": results,
+    }
+
+
+def write_report(report: dict, path: Path | str) -> Path:
+    """Write *report* as pretty JSON, creating parent directories."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def load_baseline(path: Path | str = BENCH_BASELINE_PATH) -> dict:
+    """Load a committed perfbench baseline."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        raise ConfigError(
+            f"perfbench baseline not found at {baseline_path};"
+            " run `repro perfbench --out` to record one"
+        )
+    data = json.loads(baseline_path.read_text())
+    if data.get("schema") != SCHEMA:
+        raise ConfigError(
+            f"baseline {baseline_path} has schema"
+            f" {data.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    return data
+
+
+def check_report(report: dict, baseline: dict | None = None,
+                 tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Gate *report* against its invariants; return failure messages.
+
+    An empty list means the gate passed. Digest comparison against the
+    baseline only applies when the scales match (digests are workload
+    content hashes, so they are machine-independent but scale-specific).
+    """
+    if not 0 < tolerance <= 1:
+        raise ConfigError("tolerance must be in (0, 1]")
+    failures: list[str] = []
+    base_benches = {}
+    if baseline is not None and baseline.get("scale") == report.get("scale"):
+        base_benches = baseline.get("benches", {})
+    for name, entry in report.get("benches", {}).items():
+        if not entry.get("lanes_equivalent", False):
+            failures.append(
+                f"{name}: fast and compat lanes produced different"
+                " simulated results (byte-identity broken)"
+            )
+        base = base_benches.get(name)
+        if base and base.get("sim_digest") != entry.get("sim_digest"):
+            failures.append(
+                f"{name}: simulated digest {entry.get('sim_digest')}"
+                f" != committed baseline {base.get('sim_digest')}"
+                " (simulated outputs changed)"
+            )
+        speedup = entry.get("speedup")
+        floor = entry.get("min_speedup", 1.0) * tolerance
+        if speedup is not None and speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below floor"
+                f" {floor:.2f}x (min {entry.get('min_speedup')}x"
+                f" * tolerance {tolerance})"
+            )
+    return failures

@@ -104,9 +104,10 @@ class HashJoin:
         build_cpu = len(build) * CPU_BUILD_NS
         probe_latency = 0.0
         if self.work_path is not None and len(table) > LLC_RESIDENT_GROUPS:
-            probe_latency = (self.work_path.read_latency_ns()
+            timing = self.work_path.timing()
+            probe_latency = (timing.read_latency_ns
                              / MEMORY_LEVEL_PARALLELISM)
-            build_cpu += len(build) * (self.work_path.write_latency_ns()
+            build_cpu += len(build) * (timing.write_latency_ns
                                        / MEMORY_LEVEL_PARALLELISM)
         clock.advance(build_cpu)
         probed = 0
@@ -129,7 +130,7 @@ class HashJoin:
         """Planner-facing cost estimate (no execution)."""
         latency = 0.0
         if self.work_path is not None and build_rows > LLC_RESIDENT_GROUPS:
-            latency = (self.work_path.read_latency_ns()
+            latency = (self.work_path.timing().read_latency_ns
                        / MEMORY_LEVEL_PARALLELISM)
         passes = max(1, math.ceil(build_rows / self.work_mem_rows))
         spill = 0.0

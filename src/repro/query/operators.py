@@ -94,13 +94,15 @@ class TableScan:
     def rows(self, engine: ScaleUpEngine) -> Iterator[tuple]:
         """Scan pages through the buffer pool, charging per-row CPU."""
         pool = engine.pool
-        clock = pool.clock
+        per_row_cpu = CPU_FILTER_NS if self.predicate else CPU_EMIT_NS
+        # One batched call per page: rows are yielded between pages, so
+        # parent operators may charge CPU mid-stream and longer runs
+        # would reorder clock additions. access_batch keeps the exact
+        # scalar sequence (access, then the per-page CPU charge).
+        access_batch = pool.access_batch
         for page_id, records in self.table.pages():
-            pool.access(page_id, nbytes=PAGE_SIZE, is_scan=True)
-            cpu = len(records) * (
-                CPU_FILTER_NS if self.predicate else CPU_EMIT_NS
-            )
-            clock.advance(cpu)
+            access_batch((page_id,), nbytes=PAGE_SIZE, is_scan=True,
+                         post_ns=len(records) * per_row_cpu)
             for row in records:
                 if self.predicate is not None and not self.predicate(row):
                     continue
@@ -219,7 +221,7 @@ class HashAggregate:
         cpu = input_rows * (CPU_AGG_NS + 2.5 * len(self.aggs))
         if self.work_path is not None and \
                 len(groups) > LLC_RESIDENT_GROUPS:
-            cpu += input_rows * (self.work_path.read_latency_ns()
+            cpu += input_rows * (self.work_path.timing().read_latency_ns
                                  / MEMORY_LEVEL_PARALLELISM)
         clock.advance(cpu + len(groups) * CPU_EMIT_NS)
         for key, state in groups.items():

@@ -11,7 +11,52 @@ scheduling is needed on the fast path.
 from __future__ import annotations
 
 from ..errors import ConfigError
-from ..units import transfer_time_ns
+from ..units import CACHE_LINE, PAGE_SIZE, transfer_time_ns
+
+#: Size classes every workload touches; their transfer times are
+#: precomputed at table construction so the hot path never divides.
+DEFAULT_SIZE_CLASSES = (CACHE_LINE, PAGE_SIZE)
+
+#: Cap on memoized ad-hoc size classes, so irregular transfer sizes
+#: (e.g. per-partition spill runs) cannot grow a table without bound.
+_MAX_MEMOIZED_CLASSES = 64
+
+
+class TransferTable:
+    """Precomputed transfer times at a fixed bandwidth, by size class.
+
+    ``time_ns(size)`` returns exactly the float that
+    :func:`~repro.units.transfer_time_ns` would return for the same
+    arguments — the table changes *when* the division happens (once,
+    at construction), never its result, so cached and uncached paths
+    stay bit-identical.
+    """
+
+    __slots__ = ("bandwidth", "_times")
+
+    def __init__(self, bandwidth_bytes_per_ns: float,
+                 size_classes: tuple[int, ...] = DEFAULT_SIZE_CLASSES
+                 ) -> None:
+        if bandwidth_bytes_per_ns <= 0:
+            raise ConfigError(
+                f"transfer table bandwidth must be positive:"
+                f" {bandwidth_bytes_per_ns}"
+            )
+        self.bandwidth = bandwidth_bytes_per_ns
+        self._times: dict[int, float] = {
+            size: transfer_time_ns(size, bandwidth_bytes_per_ns)
+            for size in size_classes
+        }
+
+    def time_ns(self, size_bytes: int) -> float:
+        """Transfer time for *size_bytes*; precomputed when tabled."""
+        cached = self._times.get(size_bytes)
+        if cached is not None:
+            return cached
+        time = transfer_time_ns(size_bytes, self.bandwidth)
+        if len(self._times) < _MAX_MEMOIZED_CLASSES:
+            self._times[size_bytes] = time
+        return time
 
 
 class SharedChannel:

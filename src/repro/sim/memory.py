@@ -20,14 +20,14 @@ from typing import TYPE_CHECKING
 
 from ..config import MemoryKind, MemorySpec
 from ..errors import AddressError, ConfigError, DeviceFailure
-from ..units import CACHE_LINE, transfer_time_ns
-from .bandwidth import SharedChannel
+from ..units import CACHE_LINE
+from .bandwidth import SharedChannel, TransferTable
 
 if TYPE_CHECKING:  # pragma: no cover
     from .context import SimContext
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryStats:
     """Access counters for one device."""
 
@@ -65,6 +65,15 @@ class MemoryDevice:
         self.name = name or spec.name
         self.stats = MemoryStats()
         self.channel = SharedChannel(self.name, spec.peak_bandwidth)
+        # Device timing table, built once: unloaded access latencies
+        # plus per-size-class transfer times at effective bandwidth.
+        # The hot path reads these instead of re-deriving efficiency-
+        # scaled bandwidths per access; values are bit-identical to the
+        # spec arithmetic they replace.
+        self.load_latency_ns = spec.load_latency_ns
+        self.store_latency_ns = spec.store_latency_ns
+        self.load_transfer = TransferTable(spec.effective_load_bandwidth)
+        self.store_transfer = TransferTable(spec.effective_store_bandwidth)
         self._failed = False
         # First-fit free list: sorted list of (offset, size) holes.
         self._holes: list[tuple[int, int]] = [(0, spec.capacity_bytes)]
@@ -115,20 +124,18 @@ class MemoryDevice:
     def load_time(self, size_bytes: int = CACHE_LINE) -> float:
         """Unloaded time to read *size_bytes*, in ns."""
         self._check_health()
-        self.stats.loads += 1
-        self.stats.load_bytes += size_bytes
-        return self.spec.load_latency_ns + transfer_time_ns(
-            size_bytes, self.spec.effective_load_bandwidth
-        )
+        stats = self.stats
+        stats.loads += 1
+        stats.load_bytes += size_bytes
+        return self.load_latency_ns + self.load_transfer.time_ns(size_bytes)
 
     def store_time(self, size_bytes: int = CACHE_LINE) -> float:
         """Unloaded time to write *size_bytes*, in ns."""
         self._check_health()
-        self.stats.stores += 1
-        self.stats.store_bytes += size_bytes
-        return self.spec.store_latency_ns + transfer_time_ns(
-            size_bytes, self.spec.effective_store_bandwidth
-        )
+        stats = self.stats
+        stats.stores += 1
+        stats.store_bytes += size_bytes
+        return self.store_latency_ns + self.store_transfer.time_ns(size_bytes)
 
     def load_completion(self, size_bytes: int, now_ns: float) -> float:
         """Contended read: completion time given the shared channel.

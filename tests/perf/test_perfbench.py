@@ -1,0 +1,138 @@
+"""Tests for the ``repro perfbench`` subsystem.
+
+Benchmarks run at a tiny scale here — the point is exercising the
+harness (lane switching, digest equality, report shape, gating), not
+measuring a speedup on a loaded CI machine.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import (
+    MICROBENCHES,
+    check_report,
+    load_baseline,
+    run_microbench,
+    run_perfbench,
+    write_report,
+)
+from repro.perf.cli import perfbench_main
+from repro.perf.runner import SCHEMA
+
+SCALE = 0.02
+
+
+def test_microbench_lanes_agree_on_simulation():
+    """Every bench's fast and compat lanes must produce identical
+    simulated results — the byte-identity contract, end to end."""
+    for name in MICROBENCHES:
+        _, fast_digest = run_microbench(name, fast=True, scale=SCALE)
+        _, compat_digest = run_microbench(name, fast=False, scale=SCALE)
+        assert fast_digest == compat_digest, name
+
+
+def test_microbench_digest_deterministic():
+    """The same bench at the same scale digests identically per run."""
+    _, first = run_microbench("oltp", fast=True, scale=SCALE)
+    _, second = run_microbench("oltp", fast=True, scale=SCALE)
+    assert first == second
+
+
+def test_unknown_bench_rejected():
+    with pytest.raises(ConfigError):
+        run_microbench("nope", fast=True)
+    with pytest.raises(ConfigError):
+        run_perfbench(["nope"], repeats=1, scale=SCALE)
+
+
+def test_run_perfbench_report_shape():
+    report = run_perfbench(["scan"], repeats=1, scale=SCALE)
+    assert report["schema"] == SCHEMA
+    assert report["scale"] == SCALE
+    entry = report["benches"]["scan"]
+    assert entry["lanes_equivalent"] is True
+    assert entry["compat_wall_s"] > 0
+    assert entry["fast_wall_s"] > 0
+    assert entry["speedup"] > 0
+    assert entry["sim_digest"] not in ("missing", "nondeterministic")
+
+
+def _small_report():
+    return run_perfbench(["scan"], repeats=1, scale=SCALE)
+
+
+def test_check_report_passes_against_self():
+    report = _small_report()
+    assert check_report(report, baseline=copy.deepcopy(report),
+                        tolerance=0.01) == []
+
+
+def test_check_report_flags_lane_divergence():
+    report = _small_report()
+    report["benches"]["scan"]["lanes_equivalent"] = False
+    failures = check_report(report, tolerance=0.01)
+    assert any("byte-identity" in failure for failure in failures)
+
+
+def test_check_report_flags_digest_drift():
+    report = _small_report()
+    baseline = copy.deepcopy(report)
+    baseline["benches"]["scan"]["sim_digest"] = "deadbeef"
+    failures = check_report(report, baseline=baseline, tolerance=0.01)
+    assert any("digest" in failure for failure in failures)
+
+
+def test_check_report_skips_digests_across_scales():
+    report = _small_report()
+    baseline = copy.deepcopy(report)
+    baseline["scale"] = 1.0
+    baseline["benches"]["scan"]["sim_digest"] = "deadbeef"
+    assert check_report(report, baseline=baseline, tolerance=0.01) == []
+
+
+def test_check_report_flags_slow_fast_lane():
+    report = _small_report()
+    report["benches"]["scan"]["speedup"] = 0.01
+    failures = check_report(report, tolerance=1.0)
+    assert any("below floor" in failure for failure in failures)
+
+
+def test_write_and_load_baseline_roundtrip(tmp_path):
+    report = _small_report()
+    path = write_report(report, tmp_path / "bench" / "BENCH.json")
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(report, sort_keys=True)
+    )
+    assert load_baseline(path)["schema"] == SCHEMA
+
+
+def test_load_baseline_rejects_missing_and_bad_schema(tmp_path):
+    with pytest.raises(ConfigError):
+        load_baseline(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "other/v0"}))
+    with pytest.raises(ConfigError):
+        load_baseline(bad)
+
+
+def test_cli_writes_report_and_checks(tmp_path, capsys):
+    out = tmp_path / "BENCH.json"
+    code = perfbench_main([
+        "--benches", "scan", "--repeats", "1",
+        "--scale", str(SCALE), "--out", str(out), "--quiet",
+    ])
+    assert code == 0
+    assert out.exists()
+    code = perfbench_main([
+        "--benches", "scan", "--repeats", "1",
+        "--scale", str(SCALE), "--check", "--baseline", str(out),
+        "--tolerance", "0.01", "--quiet",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "scan" in captured.out
