@@ -19,8 +19,8 @@ from ..sim.memory import MemoryDevice
 from ..storage.disk import StorageDevice
 from ..storage.file import PageFile
 from ..units import PAGE_SIZE, SECOND, fmt_ns
-from ..workloads.traces import Access
-from .buffer import Tier, TieredBufferPool
+from ..workloads.traces import Access, AccessBlock, blocks_to_accesses
+from .buffer import MIN_BATCH_RUN, Tier, TieredBufferPool
 from .placement import DbCostPolicy, PlacementPolicy
 from .temperature import ExactTracker
 
@@ -219,23 +219,29 @@ class ScaleUpEngine:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, trace: Iterable[Access],
+    def run(self, trace: Iterable[Access] | Iterable[AccessBlock],
             label: str | None = None) -> EngineReport:
         """Execute a trace; returns the run report.
 
         Each access charges its CPU think time plus the buffer pool's
-        demand latency to the engine clock.
+        demand latency to the engine clock. The trace may carry scalar
+        :class:`Access` records, :class:`AccessBlock` chunks, or a mix
+        of both — the simulated result is identical either way.
 
         With the pool's fast lane enabled, consecutive accesses that
         share one shape (size, read/write, scan flag, think time) are
-        coalesced into :meth:`TieredBufferPool.access_batch` calls.
-        The batch lane threads ``demand_ns`` through as its
-        accumulator and charges think time per access inside the run,
-        so every float addition happens in the scalar loop's order —
-        the report is bit-identical either way. With the fast lane
-        off the loop uses the pool's compat access (the frozen
-        pre-fast-lane arithmetic), which is what perfbench measures
-        speedups against.
+        coalesced into :meth:`TieredBufferPool.access_batch` calls:
+        scalar accesses through a per-access peek loop, blocks through
+        one vectorised boundary scan per chunk
+        (:meth:`AccessBlock.segment_bounds`) that feeds the batch lane
+        maximal same-shape runs. The batch lane threads ``demand_ns``
+        through as its accumulator and charges think time per access
+        inside the run, so every float addition happens in the scalar
+        loop's order — the report is bit-identical in every lane and
+        delivery form. With the fast lane off the loop uses the
+        pool's compat access (the frozen pre-fast-lane arithmetic,
+        blocks expanded to scalar accesses), which is what perfbench
+        measures speedups against.
         """
         pool = self.pool
         clock = pool.clock
@@ -251,12 +257,76 @@ class ScaleUpEngine:
         with ctx.span(f"run:{label or self.name}", cat="engine"):
             if fast:
                 batch = pool.access_batch
+                access_one = pool.access
+                advance = clock.advance
                 pending: list[int] = []
                 run_nbytes = -1
                 run_write = False
                 run_scan = False
                 run_think = 0.0
-                for access in trace:
+                for item in trace:
+                    if type(item) is AccessBlock:
+                        if pending:
+                            demand_ns = batch(
+                                pending, nbytes=run_nbytes,
+                                write=run_write, is_scan=run_scan,
+                                think_ns=run_think, accum=demand_ns,
+                            )
+                            pending.clear()
+                            run_nbytes = -1
+                        n = len(item)
+                        if not n:
+                            continue
+                        ops += n
+                        bounds = item.segment_bounds()
+                        page_ids = item.page_id.tolist()
+                        writes = item.write.tolist()
+                        scans = item.is_scan.tolist()
+                        sizes = item.nbytes.tolist()
+                        thinks = item.think_ns.tolist()
+                        seg_start = 0
+                        for seg_end in bounds[1:]:
+                            nb = sizes[seg_start]
+                            w = writes[seg_start]
+                            s = scans[seg_start]
+                            t = thinks[seg_start]
+                            count = seg_end - seg_start
+                            if count == 1:
+                                # The interleaved-shape worst case:
+                                # route straight to the table-based
+                                # scalar access, no batch-call or
+                                # range overhead.
+                                if t:
+                                    advance(t)
+                                    think_ns += t
+                                demand_ns += access_one(
+                                    page_ids[seg_start], nb, w, s)
+                            elif count < MIN_BATCH_RUN:
+                                # Short run: skip the batch-call
+                                # overhead; this is by definition
+                                # what access_batch would do.
+                                for j in range(seg_start, seg_end):
+                                    if t:
+                                        advance(t)
+                                        think_ns += t
+                                    demand_ns += access_one(
+                                        page_ids[j], nb, w, s)
+                            else:
+                                demand_ns = batch(
+                                    page_ids[seg_start:seg_end],
+                                    nbytes=nb, write=w, is_scan=s,
+                                    think_ns=t, accum=demand_ns,
+                                )
+                                if t:
+                                    # One scalar-ordered addition per
+                                    # access; the repeated-add chain
+                                    # has no closed form that is
+                                    # bit-identical.
+                                    for _ in range(count):
+                                        think_ns += t
+                            seg_start = seg_end
+                        continue
+                    access = item
                     if (access.nbytes != run_nbytes
                             or access.write != run_write
                             or access.is_scan != run_scan
@@ -285,7 +355,7 @@ class ScaleUpEngine:
                     )
             else:
                 access_fn = getattr(pool, "_access_compat", pool.access)
-                for access in trace:
+                for access in blocks_to_accesses(trace):
                     if access.think_ns:
                         clock.advance(access.think_ns)
                         think_ns += access.think_ns
@@ -337,7 +407,7 @@ class ScaleUpEngine:
         if not traces:
             raise ConfigError("need at least one trace")
         pool = self.pool
-        iterators = [iter(trace) for trace in traces]
+        iterators = [iter(blocks_to_accesses(trace)) for trace in traces]
         report = ConcurrentReport(
             name=label or f"{self.name}-x{len(traces)}",
             threads=len(traces),

@@ -1,21 +1,23 @@
 """Microbenchmark definitions for ``repro perfbench``.
 
-Each microbenchmark builds a fresh engine, optionally warms the pool,
-and times a single workload drive through the simulator hot path. The
-same workload runs in two lanes:
+Each microbenchmark times one hot path of the simulator in two lanes
+and requires both to produce **byte-identical results**:
 
-* ``fast`` — the batched fast lane (``BufferPool.access_batch`` +
-  precomputed latency tables), the default execution mode.
-* ``compat`` — the scalar reference lane that recomputes per-access
-  arithmetic the way the pre-fast-lane simulator did.
+* Engine benches (``scan``, ``oltp``, ``htap``, ``htap-blocks``) build
+  a fresh engine, warm the pool, and drive one workload through
+  ``engine.run``. ``fast`` is the batched fast lane
+  (``BufferPool.access_batch`` + precomputed latency tables, plus the
+  columnar block consumer for ``htap-blocks``); ``compat`` is the
+  scalar reference lane that recomputes per-access arithmetic the way
+  the pre-fast-lane simulator did. The digest covers every simulated
+  quantity of the run.
+* The trace-generation bench (``trace-gen``) times workload
+  *generation*: the columnar block emitters (``fast``) against the
+  scalar per-``Access`` generators (``compat``). The digest covers the
+  elementwise content of the generated trace.
 
-Both lanes must produce **byte-identical simulated results**; the
-digest of the run report is part of the benchmark output and is
-compared across lanes (and against the committed baseline) so a fast
-lane that drifts from the physics fails loudly, not quietly.
-
-Traces are materialised into lists before the timed region so the
-measurement captures the simulator hot path, not the trace generator.
+Traces for engine benches are materialised before the timed region so
+the measurement captures the simulator hot path, not the generator.
 """
 
 from __future__ import annotations
@@ -26,20 +28,31 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from ..core.engine import EngineReport, ScaleUpEngine
 from ..errors import ConfigError
-from ..workloads.scans import mixed_htap_trace, scan_trace
-from ..workloads.ycsb import YCSBConfig, ycsb_trace
+from ..workloads.scans import (
+    mixed_htap_blocks,
+    mixed_htap_trace,
+    scan_trace,
+)
+from ..workloads.traces import AccessBlock
+from ..workloads.ycsb import YCSBConfig, ycsb_blocks, ycsb_trace
 
 
 @dataclass(frozen=True, slots=True)
 class BenchSpec:
-    """A named wall-clock microbenchmark with its speedup floor."""
+    """A named wall-clock microbenchmark with its speedup floor.
+
+    ``runner(fast, scale)`` executes one lane and returns
+    ``(wall_seconds, digest)``; the digest must agree across lanes.
+    """
 
     name: str
     description: str
     min_speedup: float
-    builder: Callable[[float], tuple[ScaleUpEngine, list]]
+    runner: Callable[[bool, float], tuple[float, str]]
 
 
 def _set_lane(engine: ScaleUpEngine, fast: bool) -> None:
@@ -85,7 +98,39 @@ def _digest_report(engine: ScaleUpEngine, report: EngineReport) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-# -- microbenchmark builders -------------------------------------------------
+def _digest_trace(page_id, write, is_scan, nbytes, think_ns) -> str:
+    """Digest the elementwise content of a trace from its columns."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(page_id, np.int64).tobytes())
+    digest.update(np.ascontiguousarray(write, np.bool_).tobytes())
+    digest.update(np.ascontiguousarray(is_scan, np.bool_).tobytes())
+    digest.update(np.ascontiguousarray(nbytes, np.int64).tobytes())
+    digest.update(np.ascontiguousarray(think_ns, np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def _digest_blocks(blocks: list[AccessBlock]) -> str:
+    return _digest_trace(
+        np.concatenate([b.page_id for b in blocks]),
+        np.concatenate([b.write for b in blocks]),
+        np.concatenate([b.is_scan for b in blocks]),
+        np.concatenate([b.nbytes for b in blocks]),
+        np.concatenate([b.think_ns for b in blocks]),
+    )
+
+
+def _digest_accesses(accesses: list) -> str:
+    n = len(accesses)
+    return _digest_trace(
+        np.fromiter((a.page_id for a in accesses), np.int64, n),
+        np.fromiter((a.write for a in accesses), np.bool_, n),
+        np.fromiter((a.is_scan for a in accesses), np.bool_, n),
+        np.fromiter((a.nbytes for a in accesses), np.int64, n),
+        np.fromiter((a.think_ns for a in accesses), np.float64, n),
+    )
+
+
+# -- engine microbenchmark builders ------------------------------------------
 #
 # Builders return ``(engine, trace)`` with the pool already warmed; the
 # runner times only ``engine.run(trace)``. ``scale`` shrinks the
@@ -138,16 +183,22 @@ def _oltp_builder(scale: float) -> tuple[ScaleUpEngine, list]:
     return engine, trace
 
 
-def _htap_builder(scale: float) -> tuple[ScaleUpEngine, list]:
-    """Interleaved OLTP + scan traffic (Sec 3.1 interference mix).
-
-    With ``oltp_per_olap=1`` the access shape changes on *every*
-    operation, so each coalesced run has length one and the batch lane
-    degenerates to its scalar fallback — this bench guards the floor
-    of the optimisation (timing tables only), not its ceiling.
-    """
+def _htap_params(scale: float) -> tuple[int, int, dict]:
     oltp_pages = max(64, int(1500 * scale))
     olap_pages = max(64, int(4000 * scale))
+    params = dict(
+        oltp_pages=oltp_pages,
+        olap_pages=olap_pages,
+        oltp_ops=max(256, int(8_000 * scale)),
+        olap_repeats=2,
+        oltp_per_olap=1,
+        seed=23,
+    )
+    return oltp_pages, olap_pages, params
+
+
+def _htap_engine(scale: float) -> tuple[ScaleUpEngine, dict]:
+    oltp_pages, olap_pages, params = _htap_params(scale)
     engine = ScaleUpEngine.build(
         dram_pages=max(32, oltp_pages),
         cxl_pages=olap_pages + olap_pages // 2,
@@ -155,15 +206,98 @@ def _htap_builder(scale: float) -> tuple[ScaleUpEngine, list]:
     )
     engine.warm_with(scan_trace(0, oltp_pages + olap_pages, repeats=1,
                                 think_ns=0.0))
-    trace = list(mixed_htap_trace(
-        oltp_pages=oltp_pages,
-        olap_pages=olap_pages,
-        oltp_ops=max(256, int(8_000 * scale)),
-        olap_repeats=2,
-        oltp_per_olap=1,
-        seed=23,
-    ))
+    return engine, params
+
+
+def _htap_builder(scale: float) -> tuple[ScaleUpEngine, list]:
+    """Interleaved OLTP + scan traffic as scalar ``Access`` objects.
+
+    With ``oltp_per_olap=1`` the access shape changes on *every*
+    operation, so each coalesced run has length one and the batch lane
+    degenerates to its scalar fallback — this bench guards the floor
+    of the object-trace path (timing tables only), not its ceiling.
+    """
+    engine, params = _htap_engine(scale)
+    trace = list(mixed_htap_trace(**params))
     return engine, trace
+
+
+def _htap_blocks_builder(scale: float) -> tuple[ScaleUpEngine, list]:
+    """The same per-op alternating HTAP mix, delivered as blocks.
+
+    This is the coalescer worst case attacked by the columnar
+    pipeline: the vectorised boundary scan replaces the per-access
+    Python peek, and length-one runs route straight to the pool's
+    table-based scalar access without object churn.
+    """
+    engine, params = _htap_engine(scale)
+    trace = list(mixed_htap_blocks(**params))
+    return engine, trace
+
+
+def _engine_runner(
+    builder: Callable[[float], tuple[ScaleUpEngine, list]],
+    label: str,
+) -> Callable[[bool, float], tuple[float, str]]:
+    def run(fast: bool, scale: float) -> tuple[float, str]:
+        engine, trace = builder(scale)
+        _set_lane(engine, fast)
+        start = time.perf_counter()
+        report = engine.run(trace, label=f"perf:{label}")
+        wall_s = time.perf_counter() - start
+        return wall_s, _digest_report(engine, report)
+    return run
+
+
+# -- trace-generation microbenchmark -----------------------------------------
+
+
+def _trace_gen_params(scale: float) -> tuple[YCSBConfig, dict]:
+    ycsb_config = YCSBConfig(
+        mix="E",
+        num_pages=max(64, int(20_000 * scale)),
+        num_ops=max(256, int(8_000 * scale)),
+        seed=17,
+    )
+    htap_params = dict(
+        oltp_pages=max(64, int(4_000 * scale)),
+        olap_pages=max(64, int(10_000 * scale)),
+        oltp_ops=max(256, int(20_000 * scale)),
+        olap_repeats=2,
+        oltp_per_olap=4,
+        seed=29,
+    )
+    return ycsb_config, htap_params
+
+
+def _trace_gen_runner(fast: bool, scale: float) -> tuple[float, str]:
+    """Time trace *generation*: columnar emitters vs scalar generators.
+
+    Covers the whole pipeline — vectorised op-mix decode, insert
+    cursors, scan expansion (YCSB mix E) and the block-aware HTAP
+    interleave. The digest is over elementwise trace content, so both
+    lanes must generate the identical access sequence.
+    """
+    ycsb_config, htap_params = _trace_gen_params(scale)
+    if fast:
+        start = time.perf_counter()
+        ycsb_part = list(ycsb_blocks(ycsb_config))
+        htap_part = list(mixed_htap_blocks(**htap_params))
+        wall_s = time.perf_counter() - start
+        digest = hashlib.sha256(
+            (_digest_blocks(ycsb_part)
+             + _digest_blocks(htap_part)).encode()
+        ).hexdigest()
+    else:
+        start = time.perf_counter()
+        ycsb_part = list(ycsb_trace(ycsb_config))
+        htap_part = list(mixed_htap_trace(**htap_params))
+        wall_s = time.perf_counter() - start
+        digest = hashlib.sha256(
+            (_digest_accesses(ycsb_part)
+             + _digest_accesses(htap_part)).encode()
+        ).hexdigest()
+    return wall_s, digest
 
 
 MICROBENCHES: dict[str, BenchSpec] = {
@@ -171,19 +305,34 @@ MICROBENCHES: dict[str, BenchSpec] = {
         name="scan",
         description="sequential scan, warm CXL-resident table (hit path)",
         min_speedup=3.0,
-        builder=_scan_builder,
+        runner=_engine_runner(_scan_builder, "scan"),
     ),
     "oltp": BenchSpec(
         name="oltp",
         description="zipfian YCSB-B point traffic, DRAM+CXL with live placement",
         min_speedup=1.5,
-        builder=_oltp_builder,
+        runner=_engine_runner(_oltp_builder, "oltp"),
     ),
     "htap": BenchSpec(
         name="htap",
-        description="per-op alternating OLTP/scan mix (coalescer worst case)",
+        description="per-op alternating OLTP/scan mix, object trace"
+                    " (coalescer worst case, object path)",
         min_speedup=1.0,
-        builder=_htap_builder,
+        runner=_engine_runner(_htap_builder, "htap"),
+    ),
+    "htap-blocks": BenchSpec(
+        name="htap-blocks",
+        description="per-op alternating OLTP/scan mix, columnar blocks"
+                    " (coalescer worst case, block path)",
+        min_speedup=2.0,
+        runner=_engine_runner(_htap_blocks_builder, "htap-blocks"),
+    ),
+    "trace-gen": BenchSpec(
+        name="trace-gen",
+        description="workload generation: columnar block emitters vs"
+                    " scalar per-Access generators",
+        min_speedup=3.0,
+        runner=_trace_gen_runner,
     ),
 }
 
@@ -192,8 +341,9 @@ def run_microbench(name: str, fast: bool,
                    scale: float = 1.0) -> tuple[float, str]:
     """Run one microbenchmark in one lane.
 
-    Returns ``(wall_seconds, sim_digest)`` where the digest covers every
-    simulated quantity of the run (clock, demand time, pool counters).
+    Returns ``(wall_seconds, sim_digest)`` where the digest covers
+    everything the lane computed (simulated run state for engine
+    benches, elementwise trace content for generation benches).
     """
     spec = MICROBENCHES.get(name)
     if spec is None:
@@ -201,9 +351,4 @@ def run_microbench(name: str, fast: bool,
             f"unknown microbenchmark {name!r};"
             f" known: {', '.join(sorted(MICROBENCHES))}"
         )
-    engine, trace = spec.builder(scale)
-    _set_lane(engine, fast)
-    start = time.perf_counter()
-    report = engine.run(trace, label=f"perf:{name}")
-    wall_s = time.perf_counter() - start
-    return wall_s, _digest_report(engine, report)
+    return spec.runner(fast, scale)

@@ -24,7 +24,7 @@ from typing import Callable
 from ..errors import ConfigError
 from .bench import MICROBENCHES, run_microbench
 
-BENCH_BASELINE_PATH = Path("results/bench/BENCH_PR3.json")
+BENCH_BASELINE_PATH = Path("results/bench/BENCH_PR4.json")
 SCHEMA = "repro.perfbench/v1"
 
 # CI runners are noisy shared machines; require only this fraction of

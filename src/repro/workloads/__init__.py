@@ -9,25 +9,40 @@ cloud workloads (:mod:`repro.workloads.cloudmix`).
 
 from .cloudmix import CloudWorkload, generate_population
 from .replay import TraceProfile, load_trace, profile_trace, save_trace
-from .scans import mixed_htap_trace, scan_trace
-from .traces import Access, instrumented, interleave
-from .ycsb import YCSB_MIXES, YCSBConfig, ycsb_trace
+from .scans import mixed_htap_blocks, mixed_htap_trace, scan_blocks, scan_trace
+from .traces import (
+    BLOCK_OPS,
+    Access,
+    AccessBlock,
+    accesses_to_blocks,
+    blocks_to_accesses,
+    instrumented,
+    interleave,
+)
+from .ycsb import YCSB_MIXES, YCSBConfig, ycsb_blocks, ycsb_trace
 from .zipf import ZipfGenerator
 
 __all__ = [
     "Access",
+    "AccessBlock",
+    "BLOCK_OPS",
     "CloudWorkload",
     "TraceProfile",
     "YCSBConfig",
     "YCSB_MIXES",
     "ZipfGenerator",
+    "accesses_to_blocks",
+    "blocks_to_accesses",
     "generate_population",
     "instrumented",
     "interleave",
     "load_trace",
+    "mixed_htap_blocks",
     "mixed_htap_trace",
     "profile_trace",
     "save_trace",
+    "scan_blocks",
     "scan_trace",
+    "ycsb_blocks",
     "ycsb_trace",
 ]

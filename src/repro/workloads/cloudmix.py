@@ -18,9 +18,12 @@ import random
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from ..config import LOCAL_DRAM_LOAD_NS
 from ..errors import ConfigError
-from .traces import Access
+from ..units import CACHE_LINE
+from .traces import BLOCK_OPS, Access, AccessBlock
 from .zipf import ZipfGenerator
 
 #: Memory-boundedness classes: (population share, m_low, m_high) where
@@ -58,6 +61,29 @@ class CloudWorkload:
                 page_id=int(pages[i]),
                 write=rng.random() >= self.read_ratio,
                 think_ns=self.think_ns,
+            )
+
+    def trace_blocks(self, block_ops: int = BLOCK_OPS
+                     ) -> Iterator[AccessBlock]:
+        """The :meth:`trace` sequence as structure-of-arrays blocks
+        (elementwise identical: same Zipf draws, same per-op write
+        coin flips in the same uniform-stream order)."""
+        zipf = ZipfGenerator(self.working_set_pages, theta=self.theta,
+                             seed=self.seed)
+        rng = random.Random(self.seed ^ 0xC10D)
+        pages = zipf.sample(self.num_ops)
+        draw = rng.random
+        writes = np.fromiter((draw() for _ in range(self.num_ops)),
+                             np.float64, self.num_ops) >= self.read_ratio
+        for start in range(0, self.num_ops, block_ops):
+            stop = min(start + block_ops, self.num_ops)
+            n = stop - start
+            yield AccessBlock(
+                page_id=pages[start:stop],
+                write=writes[start:stop],
+                is_scan=np.zeros(n, np.bool_),
+                nbytes=np.full(n, CACHE_LINE, np.int64),
+                think_ns=np.full(n, self.think_ns, np.float64),
             )
 
 

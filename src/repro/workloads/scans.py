@@ -4,16 +4,22 @@ Sequential scans are the canonical OLAP access pattern and the
 canonical enemy of an LRU buffer pool. The HTAP mix interleaves a
 Zipfian OLTP stream with repeated table scans to reproduce the
 interference scenario Sec 3.1 argues CXL placement can eliminate.
+
+Each generator has a block-emitting twin (``scan_blocks``,
+``mixed_htap_blocks``) producing the elementwise-identical sequence
+as :class:`AccessBlock` chunks.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..units import PAGE_SIZE
-from .traces import Access, interleave
-from .ycsb import YCSBConfig, ycsb_trace
+from .traces import BLOCK_OPS, Access, AccessBlock, interleave
+from .ycsb import YCSBConfig, ycsb_blocks, ycsb_trace
 
 
 def scan_trace(first_page: int, num_pages: int, repeats: int = 1,
@@ -32,6 +38,30 @@ def scan_trace(first_page: int, num_pages: int, repeats: int = 1,
                 nbytes=PAGE_SIZE,
                 think_ns=think_ns,
             )
+
+
+def scan_blocks(first_page: int, num_pages: int, repeats: int = 1,
+                write: bool = False, think_ns: float = 50.0,
+                block_ops: int = BLOCK_OPS) -> Iterator[AccessBlock]:
+    """The :func:`scan_trace` sequence as structure-of-arrays blocks.
+
+    One sweep's columns are built once with ``arange``/``full`` and
+    re-emitted as views every round — a scan is the best case for the
+    columnar pipeline (single shape, maximal runs).
+    """
+    if num_pages <= 0 or repeats <= 0:
+        raise ConfigError("num_pages and repeats must be positive")
+    sweep = AccessBlock(
+        page_id=np.arange(first_page, first_page + num_pages,
+                          dtype=np.int64),
+        write=np.full(num_pages, write, np.bool_),
+        is_scan=np.ones(num_pages, np.bool_),
+        nbytes=np.full(num_pages, PAGE_SIZE, np.int64),
+        think_ns=np.full(num_pages, think_ns, np.float64),
+    )
+    for _round in range(repeats):
+        for start in range(0, num_pages, block_ops):
+            yield sweep.slice(start, min(start + block_ops, num_pages))
 
 
 def mixed_htap_trace(
@@ -55,5 +85,32 @@ def mixed_htap_trace(
     ))
     olap = scan_trace(
         first_page=oltp_pages, num_pages=olap_pages, repeats=olap_repeats
+    )
+    return interleave(oltp, olap, weights=[oltp_per_olap, 1])
+
+
+def mixed_htap_blocks(
+    oltp_pages: int = 20_000,
+    olap_pages: int = 50_000,
+    oltp_ops: int = 50_000,
+    olap_repeats: int = 2,
+    oltp_per_olap: int = 4,
+    theta: float = 0.99,
+    seed: int = 42,
+    block_ops: int = BLOCK_OPS,
+) -> Iterator[AccessBlock]:
+    """The :func:`mixed_htap_trace` sequence as blocks.
+
+    Both sides generate blocks and the block-aware
+    :func:`~repro.workloads.traces.interleave` re-chunks the mixed
+    stream, elementwise identical to the scalar interleave.
+    """
+    oltp = ycsb_blocks(YCSBConfig(
+        mix="A", num_pages=oltp_pages, num_ops=oltp_ops,
+        theta=theta, seed=seed,
+    ), block_ops=block_ops)
+    olap = scan_blocks(
+        first_page=oltp_pages, num_pages=olap_pages,
+        repeats=olap_repeats, block_ops=block_ops,
     )
     return interleave(oltp, olap, weights=[oltp_per_olap, 1])

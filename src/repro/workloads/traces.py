@@ -1,17 +1,29 @@
 """Access traces: the lingua franca between workloads and engines.
 
-A trace is any iterable of :class:`Access` records. Generators in this
-package yield them lazily so multi-million-access experiments stay
-memory-flat.
+A trace is any iterable of :class:`Access` records *or*
+:class:`AccessBlock` chunks (the two may be mixed). Scalar generators
+yield one :class:`Access` per op; the block-emitting variants
+(``ycsb_blocks``, ``scan_blocks``, ...) yield structure-of-arrays
+chunks of ~:data:`BLOCK_OPS` accesses, which the engine consumes
+without materialising per-access Python objects. Both forms describe
+the same elementwise sequence — ``blocks_to_accesses`` /
+``accesses_to_blocks`` convert losslessly — and both stay memory-flat
+for multi-million-access experiments.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from ..units import CACHE_LINE
+
+#: Accesses per emitted block. Matches the engine coalescer's run cap
+#: (``engine.RUN_CHUNK``) so one block feeds one maximal batched run.
+BLOCK_OPS = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,22 +45,267 @@ class Access:
     think_ns: float = 0.0
 
 
-def interleave(*traces: Iterable[Access],
-               weights: list[int] | None = None) -> Iterator[Access]:
+@dataclass(frozen=True, slots=True)
+class AccessBlock:
+    """A structure-of-arrays chunk of consecutive trace accesses.
+
+    Five parallel numpy columns, one row per access: ``page_id``
+    (int64), ``write``/``is_scan`` (bool), ``nbytes`` (int64),
+    ``think_ns`` (float64). Blocks are immutable by convention —
+    consumers must never write into the columns, so generators are
+    free to hand out views of larger arrays.
+    """
+
+    page_id: np.ndarray
+    write: np.ndarray
+    is_scan: np.ndarray
+    nbytes: np.ndarray
+    think_ns: np.ndarray
+
+    def __len__(self) -> int:
+        return self.page_id.shape[0]
+
+    @classmethod
+    def from_columns(cls, page_id, write, is_scan, nbytes,
+                     think_ns) -> "AccessBlock":
+        """Build a block, normalising column dtypes."""
+        return cls(
+            page_id=np.ascontiguousarray(page_id, dtype=np.int64),
+            write=np.ascontiguousarray(write, dtype=np.bool_),
+            is_scan=np.ascontiguousarray(is_scan, dtype=np.bool_),
+            nbytes=np.ascontiguousarray(nbytes, dtype=np.int64),
+            think_ns=np.ascontiguousarray(think_ns, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_accesses(cls, accesses: Sequence[Access]) -> "AccessBlock":
+        """Pack scalar accesses into one block (lossless)."""
+        n = len(accesses)
+        return cls(
+            page_id=np.fromiter((a.page_id for a in accesses),
+                                np.int64, count=n),
+            write=np.fromiter((a.write for a in accesses),
+                              np.bool_, count=n),
+            is_scan=np.fromiter((a.is_scan for a in accesses),
+                                np.bool_, count=n),
+            nbytes=np.fromiter((a.nbytes for a in accesses),
+                               np.int64, count=n),
+            think_ns=np.fromiter((a.think_ns for a in accesses),
+                                 np.float64, count=n),
+        )
+
+    def slice(self, start: int, stop: int) -> "AccessBlock":
+        """A zero-copy view of rows ``[start, stop)``."""
+        return AccessBlock(
+            page_id=self.page_id[start:stop],
+            write=self.write[start:stop],
+            is_scan=self.is_scan[start:stop],
+            nbytes=self.nbytes[start:stop],
+            think_ns=self.think_ns[start:stop],
+        )
+
+    def accesses(self) -> Iterator[Access]:
+        """Unpack into scalar :class:`Access` records (lossless)."""
+        page_id = self.page_id.tolist()
+        write = self.write.tolist()
+        is_scan = self.is_scan.tolist()
+        nbytes = self.nbytes.tolist()
+        think_ns = self.think_ns.tolist()
+        for i in range(len(page_id)):
+            yield Access(page_id[i], write[i], is_scan[i], nbytes[i],
+                         think_ns[i])
+
+    def segment_bounds(self) -> list[int]:
+        """Boundaries of the maximal same-shape runs in this block.
+
+        Returns ``[0, b1, ..., n]`` such that every half-open segment
+        holds one access shape (nbytes, write, scan flag, think time)
+        — the unit the engine hands to the pool's batched lane. One
+        vectorised boundary scan over a packed shape key replaces the
+        per-access Python peek loop. ``think_ns`` is compared by bit
+        pattern, which can only split runs the scalar peek would have
+        merged (``-0.0`` vs ``0.0``) — splitting is always exact.
+        """
+        n = self.page_id.shape[0]
+        if n <= 1:
+            return [0, n] if n else [0]
+        key = self.nbytes * 4 + self.write * 2 + self.is_scan
+        think_bits = self.think_ns.view(np.int64)
+        change = (key[1:] != key[:-1]) \
+            | (think_bits[1:] != think_bits[:-1])
+        cuts = np.flatnonzero(change)
+        return [0, *(cuts + 1).tolist(), n]
+
+
+# -- lossless adapters -------------------------------------------------------
+
+
+def blocks_to_accesses(trace) -> Iterator[Access]:
+    """Expand a (possibly mixed) trace into scalar accesses."""
+    for item in trace:
+        if type(item) is AccessBlock:
+            yield from item.accesses()
+        else:
+            yield item
+
+
+def accesses_to_blocks(trace, block_ops: int = BLOCK_OPS
+                       ) -> Iterator[AccessBlock]:
+    """Pack a (possibly mixed) trace into blocks of ``block_ops``.
+
+    Blocks already present in the trace pass through unchanged (no
+    re-chunking); buffered scalar accesses are flushed ahead of them
+    so elementwise order is preserved.
+    """
+    buffer: list[Access] = []
+    for item in trace:
+        if type(item) is AccessBlock:
+            if buffer:
+                yield AccessBlock.from_accesses(buffer)
+                buffer.clear()
+            if len(item):
+                yield item
+            continue
+        buffer.append(item)
+        if len(buffer) >= block_ops:
+            yield AccessBlock.from_accesses(buffer)
+            buffer.clear()
+    if buffer:
+        yield AccessBlock.from_accesses(buffer)
+
+
+class _BlockCursor:
+    """Pull-based cursor over one trace, normalised to block views.
+
+    Scalar :class:`Access` items are tolerated (wrapped as one-row
+    blocks) so the block-aware combinators accept mixed traces.
+    """
+
+    __slots__ = ("_iterator", "block", "pos", "done")
+
+    def __init__(self, trace, first=None) -> None:
+        self._iterator = iter(trace)
+        self.block: AccessBlock | None = None
+        self.pos = 0
+        self.done = False
+        if first is not None:
+            self._install(first)
+
+    def _install(self, item) -> None:
+        if type(item) is not AccessBlock:
+            item = AccessBlock.from_accesses([item])
+        self.block = item
+        self.pos = 0
+
+    def buffered(self) -> int:
+        """Rows left in the current block (0 means a refill is due)."""
+        if self.block is None:
+            return 0
+        return len(self.block) - self.pos
+
+    def refill(self) -> bool:
+        """Ensure at least one buffered row; False once exhausted."""
+        while self.buffered() == 0:
+            if self.done:
+                return False
+            item = next(self._iterator, None)
+            if item is None:
+                self.done = True
+                return False
+            self._install(item)
+        return True
+
+    def take(self, count: int) -> tuple[list[AccessBlock], int]:
+        """Consume up to *count* rows as block views; returns how many."""
+        out: list[AccessBlock] = []
+        got = 0
+        while got < count and self.refill():
+            step = min(count - got, self.buffered())
+            out.append(self.block.slice(self.pos, self.pos + step))
+            self.pos += step
+            got += step
+        return out, got
+
+
+class _BlockBuilder:
+    """Accumulates block views and re-emits ~``block_ops``-row blocks."""
+
+    __slots__ = ("_block_ops", "_chunks", "_count")
+
+    def __init__(self, block_ops: int) -> None:
+        self._block_ops = block_ops
+        self._chunks: list[AccessBlock] = []
+        self._count = 0
+
+    def add(self, chunk: AccessBlock) -> None:
+        if len(chunk):
+            self._chunks.append(chunk)
+            self._count += len(chunk)
+
+    def full(self) -> bool:
+        return self._count >= self._block_ops
+
+    def _concatenated(self) -> AccessBlock:
+        chunks = self._chunks
+        if len(chunks) == 1:
+            return chunks[0]
+        return AccessBlock(
+            page_id=np.concatenate([c.page_id for c in chunks]),
+            write=np.concatenate([c.write for c in chunks]),
+            is_scan=np.concatenate([c.is_scan for c in chunks]),
+            nbytes=np.concatenate([c.nbytes for c in chunks]),
+            think_ns=np.concatenate([c.think_ns for c in chunks]),
+        )
+
+    def drain(self, final: bool = False) -> Iterator[AccessBlock]:
+        """Emit full blocks (and the remainder too when *final*)."""
+        if self._count == 0 or (not final and not self.full()):
+            return
+        block = self._concatenated()
+        total = len(block)
+        emit_to = total if final else (total // self._block_ops
+                                       ) * self._block_ops
+        for start in range(0, emit_to, self._block_ops):
+            yield block.slice(start, min(start + self._block_ops, total))
+        self._chunks = [block.slice(emit_to, total)] if emit_to < total \
+            else []
+        self._count = total - emit_to
+
+
+# -- trace combinators -------------------------------------------------------
+
+
+def interleave(*traces, weights: list[int] | None = None):
     """Round-robin interleave several traces until all are exhausted.
 
     With *weights*, trace *i* contributes ``weights[i]`` accesses per
     round (a cheap way to mix OLTP and OLAP load at a chosen ratio).
+    Scalar traces yield scalar accesses; if any input carries
+    :class:`AccessBlock` chunks the result is re-emitted as blocks,
+    elementwise identical to the scalar interleave of the expanded
+    inputs.
     """
     iterators = [iter(trace) for trace in traces]
     if weights is None:
         weights = [1] * len(iterators)
     if len(weights) != len(iterators):
         raise ValueError("one weight per trace required")
+    firsts = [next(iterator, None) for iterator in iterators]
+    if any(type(first) is AccessBlock for first in firsts):
+        return _interleave_blocks(iterators, firsts, weights)
+    return _interleave_scalar(iterators, firsts, weights)
+
+
+def _interleave_scalar(iterators, firsts, weights) -> Iterator[Access]:
     live = set(range(len(iterators)))
+    first_pending = dict(enumerate(firsts))
     while live:
         for index in list(live):
             for _ in range(weights[index]):
+                first = first_pending.pop(index, None)
+                if first is not None:
+                    yield first
+                    continue
                 try:
                     yield next(iterators[index])
                 except StopIteration:
@@ -56,14 +313,98 @@ def interleave(*traces: Iterable[Access],
                     break
 
 
-def take(trace: Iterable[Access], n: int) -> Iterator[Access]:
-    """The first *n* accesses of a trace."""
+def _interleave_blocks(iterators, firsts, weights,
+                       block_ops: int = BLOCK_OPS
+                       ) -> Iterator[AccessBlock]:
+    cursors = [_BlockCursor(iterator, first=first)
+               for iterator, first in zip(iterators, firsts)]
+    for index, first in enumerate(firsts):
+        if first is None:
+            cursors[index].done = True
+    live = [index for index in range(len(cursors))]
+    builder = _BlockBuilder(block_ops)
+    while live:
+        # Bulk path: every live trace has whole rounds buffered, so K
+        # rounds are assembled with one fancy-indexed scatter per
+        # trace instead of per-access Python stepping.
+        rounds = min(
+            (cursors[i].buffered() // weights[i]
+             for i in live if weights[i] > 0),
+            default=0,
+        )
+        if rounds >= 1 and all(weights[i] > 0 for i in live):
+            row = np.cumsum([0] + [weights[i] for i in live])
+            width = int(row[-1])
+            total = rounds * width
+            out_pid = np.empty(total, np.int64)
+            out_w = np.empty(total, np.bool_)
+            out_s = np.empty(total, np.bool_)
+            out_nb = np.empty(total, np.int64)
+            out_t = np.empty(total, np.float64)
+            strides = np.arange(rounds)[:, None] * width
+            for slot, index in enumerate(live):
+                cursor = cursors[index]
+                w = weights[index]
+                src = cursor.block.slice(cursor.pos,
+                                         cursor.pos + rounds * w)
+                dest = (strides
+                        + np.arange(row[slot], row[slot] + w)).ravel()
+                out_pid[dest] = src.page_id
+                out_w[dest] = src.write
+                out_s[dest] = src.is_scan
+                out_nb[dest] = src.nbytes
+                out_t[dest] = src.think_ns
+                cursor.pos += rounds * w
+            builder.add(AccessBlock(out_pid, out_w, out_s, out_nb,
+                                    out_t))
+            yield from builder.drain()
+            continue
+        # Boundary path: at least one trace is mid-refill or near
+        # exhaustion — step one round with scalar-identical semantics
+        # (a trace that comes up short is dropped after contributing
+        # its partial round, exactly like the scalar generator).
+        for index in list(live):
+            chunks, got = cursors[index].take(weights[index])
+            for chunk in chunks:
+                builder.add(chunk)
+            if got < weights[index]:
+                live.remove(index)
+        yield from builder.drain()
+    yield from builder.drain(final=True)
+
+
+def take(trace, n: int):
+    """The first *n* accesses of a trace (block-aware: block traces
+    are truncated at access granularity and stay blocks)."""
     iterator = iter(trace)
-    for _ in range(n):
-        try:
-            yield next(iterator)
-        except StopIteration:
-            return
+    first = next(iterator, None)
+    if first is None:
+        return iter(())
+    if type(first) is AccessBlock:
+        return _take_blocks(_BlockCursor(iterator, first=first), n)
+
+    def scalar() -> Iterator[Access]:
+        remaining = n
+        item = first
+        while remaining > 0:
+            yield item
+            remaining -= 1
+            if remaining == 0:
+                return
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+    return scalar()
+
+
+def _take_blocks(cursor: _BlockCursor, n: int) -> Iterator[AccessBlock]:
+    remaining = n
+    while remaining > 0 and cursor.refill():
+        step = min(remaining, cursor.buffered())
+        yield cursor.block.slice(cursor.pos, cursor.pos + step)
+        cursor.pos += step
+        remaining -= step
 
 
 def merge_timed(*timed_traces: Iterable[tuple[float, Access]]
@@ -72,22 +413,32 @@ def merge_timed(*timed_traces: Iterable[tuple[float, Access]]
     return heapq.merge(*timed_traces, key=lambda pair: pair[0])
 
 
-def instrumented(trace: Iterable[Access], ctx, name: str = "trace",
-                 batch: int = 1024) -> Iterator[Access]:
+def instrumented(trace, ctx, name: str = "trace", batch: int = 1024):
     """Pass a trace through while counting it into *ctx* metrics.
 
     Counters land under ``workload.<name>.*`` (accesses, writes,
     scans, bytes). Counting is batched so instrumenting a generator
-    costs a few local increments per access, not a registry call.
+    costs a few local increments per access — and one vectorised
+    reduction per chunk for :class:`AccessBlock` items, which pass
+    through unchanged.
     """
     metrics = ctx.metrics.scope(f"workload.{name}")
     accesses = writes = scans = nbytes = 0
-    for access in trace:
+    for item in trace:
+        if type(item) is AccessBlock:
+            n = len(item)
+            if n:
+                metrics.incr("accesses", n)
+                metrics.incr("writes", int(np.count_nonzero(item.write)))
+                metrics.incr("scans", int(np.count_nonzero(item.is_scan)))
+                metrics.incr("bytes", int(item.nbytes.sum()))
+            yield item
+            continue
         accesses += 1
-        nbytes += access.nbytes
-        if access.write:
+        nbytes += item.nbytes
+        if item.write:
             writes += 1
-        if access.is_scan:
+        if item.is_scan:
             scans += 1
         if accesses % batch == 0:
             metrics.incr("accesses", batch)
@@ -95,7 +446,7 @@ def instrumented(trace: Iterable[Access], ctx, name: str = "trace",
             metrics.incr("scans", scans)
             metrics.incr("bytes", nbytes)
             writes = scans = nbytes = 0
-        yield access
+        yield item
     remainder = accesses % batch
     if remainder or writes or scans or nbytes:
         metrics.incr("accesses", remainder)

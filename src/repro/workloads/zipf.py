@@ -46,7 +46,9 @@ class ZipfGenerator:
         ranks = np.searchsorted(self._cdf, uniform, side="left")
         if self._permutation is not None:
             ranks = self._permutation[ranks]
-        return ranks.astype(np.int64)
+        # searchsorted/permutation indexing already yield int64 on
+        # 64-bit platforms; copy=False makes the cast a no-op there.
+        return ranks.astype(np.int64, copy=False)
 
     def one(self) -> int:
         """Draw a single rank."""

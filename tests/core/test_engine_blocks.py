@@ -1,0 +1,68 @@
+"""Engine-level bit-identity for block-delivered traces.
+
+``ScaleUpEngine.run`` promises that delivering a workload as
+``AccessBlock`` chunks simulates the *identical* physics as the
+scalar ``Access`` stream — same clock, same demand latency, same
+tier statistics, down to the last float ulp — in both the batched
+fast lane and the frozen compat lane.
+"""
+
+import pytest
+
+from repro.core.engine import ScaleUpEngine
+from repro.perf.bench import _digest_report
+from repro.workloads.scans import mixed_htap_blocks, mixed_htap_trace
+from repro.workloads.traces import accesses_to_blocks
+from repro.workloads.ycsb import YCSBConfig, ycsb_blocks, ycsb_trace
+
+HTAP = dict(oltp_pages=200, olap_pages=500, oltp_ops=1500,
+            olap_repeats=2, oltp_per_olap=1, seed=11)
+YCSB = YCSBConfig(mix="A", num_pages=600, num_ops=3000, seed=9)
+
+
+def fingerprint(trace, fast):
+    """Run *trace* on a fresh engine; digest every simulated quantity.
+
+    Uses the perfbench digest so the identity asserted here is the
+    same ulp-exact contract the committed baseline gates.
+    """
+    engine = ScaleUpEngine.build(dram_pages=256, cxl_pages=900,
+                                 name="blocks-test")
+    engine.pool.set_fast_lane(fast)
+    report = engine.run(trace)
+    return _digest_report(engine, report)
+
+
+@pytest.mark.parametrize("fast", [False, True], ids=["compat", "fast"])
+class TestBlockDeliveryIdentity:
+    def test_htap_blocks_match_scalar(self, fast):
+        scalar = fingerprint(mixed_htap_trace(**HTAP), fast)
+        blocks = fingerprint(mixed_htap_blocks(**HTAP), fast)
+        assert blocks == scalar
+
+    def test_ycsb_blocks_match_scalar(self, fast):
+        scalar = fingerprint(ycsb_trace(YCSB), fast)
+        blocks = fingerprint(ycsb_blocks(YCSB), fast)
+        assert blocks == scalar
+
+    def test_mixed_delivery_matches(self, fast):
+        # A trace that switches between scalar and block items
+        # mid-stream must flush pending coalesced runs correctly.
+        scalar = list(ycsb_trace(YCSB))
+        mixed = (scalar[:500]
+                 + list(accesses_to_blocks(iter(scalar[500:2500]),
+                                           block_ops=337))
+                 + scalar[2500:])
+        assert fingerprint(mixed, fast) == fingerprint(scalar, fast)
+
+    def test_tiny_blocks_match(self, fast):
+        # block_ops=1 exercises the flush-per-item edge: every block
+        # is a single access and coalescing happens across blocks.
+        scalar = list(mixed_htap_trace(**HTAP))
+        tiny = list(accesses_to_blocks(iter(scalar), block_ops=1))
+        assert fingerprint(tiny, fast) == fingerprint(scalar, fast)
+
+
+def test_lanes_agree_on_blocks():
+    blocks = list(mixed_htap_blocks(**HTAP))
+    assert fingerprint(blocks, True) == fingerprint(blocks, False)

@@ -1,0 +1,168 @@
+"""Coverage for the trace combinators in ``workloads.traces``.
+
+Scalar semantics (weights, uneven exhaustion, truncation, timestamp
+merging, metrics batching) plus their block-aware twins, which must
+be elementwise-equivalent on expanded content.
+"""
+
+import pytest
+
+from repro.sim.context import SimContext
+from repro.workloads.traces import (
+    Access,
+    AccessBlock,
+    accesses_to_blocks,
+    blocks_to_accesses,
+    instrumented,
+    interleave,
+    merge_timed,
+    take,
+)
+
+
+def pages(trace):
+    return [a.page_id for a in blocks_to_accesses(trace)]
+
+
+def blockify(accesses, block_ops=3):
+    return list(accesses_to_blocks(iter(accesses), block_ops=block_ops))
+
+
+class TestInterleave:
+    def test_weights_shape_ratio(self):
+        a = [Access(page_id=i) for i in range(6)]
+        b = [Access(page_id=i + 100) for i in range(3)]
+        merged = pages(interleave(a, b, weights=[2, 1]))
+        assert merged == [0, 1, 100, 2, 3, 101, 4, 5, 102]
+
+    def test_uneven_exhaustion_drains_survivors(self):
+        # Trace a dies mid-round; b must keep its weight-2 cadence
+        # alone until drained.
+        a = [Access(page_id=i) for i in range(3)]
+        b = [Access(page_id=i + 10) for i in range(8)]
+        merged = pages(interleave(a, b, weights=[2, 2]))
+        assert merged == [0, 1, 10, 11, 2, 12, 13, 14, 15, 16, 17]
+
+    def test_block_interleave_matches_scalar(self):
+        a = [Access(page_id=i, think_ns=1.0) for i in range(11)]
+        b = [Access(page_id=i + 50, write=True) for i in range(4)]
+        c = [Access(page_id=i + 90, is_scan=True, nbytes=4096)
+             for i in range(7)]
+        scalar = list(interleave(a, b, c, weights=[3, 1, 2]))
+        blocks = interleave(blockify(a), blockify(b, 2), blockify(c, 5),
+                            weights=[3, 1, 2])
+        assert list(blocks_to_accesses(blocks)) == scalar
+
+    def test_mixed_scalar_and_block_inputs(self):
+        a = [Access(page_id=i) for i in range(4)]
+        b = [Access(page_id=i + 10) for i in range(4)]
+        merged = pages(interleave(blockify(a), b))
+        assert merged == pages(interleave(a, b))
+
+    def test_empty_trace_participates_harmlessly(self):
+        a = []
+        b = [Access(page_id=i) for i in range(3)]
+        assert pages(interleave(a, b)) == [0, 1, 2]
+        assert pages(interleave(blockify(b), [])) == [0, 1, 2]
+
+    def test_weight_arity_checked(self):
+        with pytest.raises(ValueError):
+            list(interleave([], [], weights=[1]))
+
+
+class TestTake:
+    def test_take_past_end_of_trace(self):
+        trace = [Access(page_id=i) for i in range(4)]
+        assert pages(take(trace, 10)) == [0, 1, 2, 3]
+        assert pages(take(iter([]), 5)) == []
+
+    def test_take_exact_and_zero(self):
+        trace = [Access(page_id=i) for i in range(4)]
+        assert pages(take(trace, 4)) == [0, 1, 2, 3]
+        assert pages(take(trace, 0)) == []
+
+    def test_take_stops_pulling_after_n(self):
+        pulled = []
+
+        def generator():
+            for i in range(100):
+                pulled.append(i)
+                yield Access(page_id=i)
+
+        assert pages(take(generator(), 3)) == [0, 1, 2]
+        assert len(pulled) <= 4
+
+    def test_take_blocks_truncates_at_access_granularity(self):
+        trace = [Access(page_id=i) for i in range(10)]
+        out = list(take(blockify(trace, 4), 6))
+        assert all(type(b) is AccessBlock for b in out)
+        assert pages(out) == [0, 1, 2, 3, 4, 5]
+        assert pages(take(blockify(trace, 4), 25)) == list(range(10))
+
+
+class TestMergeTimed:
+    def test_orders_by_timestamp(self):
+        a = [(1.0, Access(page_id=1)), (4.0, Access(page_id=4))]
+        b = [(2.0, Access(page_id=2)), (3.0, Access(page_id=3)),
+             (9.0, Access(page_id=9))]
+        merged = list(merge_timed(a, b))
+        assert [t for t, _ in merged] == [1.0, 2.0, 3.0, 4.0, 9.0]
+        assert [a.page_id for _, a in merged] == [1, 2, 3, 4, 9]
+
+    def test_stable_for_equal_timestamps(self):
+        a = [(1.0, Access(page_id=1))]
+        b = [(1.0, Access(page_id=2))]
+        assert [x.page_id for _, x in merge_timed(a, b)] == [1, 2]
+
+
+class TestInstrumented:
+    def _trace(self, n):
+        return [
+            Access(page_id=i, write=(i % 2 == 0),
+                   is_scan=(i % 4 == 0), nbytes=10)
+            for i in range(n)
+        ]
+
+    def _counts(self, ctx, name):
+        metrics = ctx.metrics
+        return {
+            key: metrics.get(f"workload.{name}.{key}")
+            for key in ("accesses", "writes", "scans", "bytes")
+        }
+
+    def test_exact_batch_multiple_flushes_everything(self):
+        # 8 ops with batch=4: the last flush happens *inside* the
+        # loop; the remainder path must not double-count or drop.
+        ctx = SimContext()
+        consumed = list(instrumented(self._trace(8), ctx, name="t",
+                                     batch=4))
+        assert len(consumed) == 8
+        assert self._counts(ctx, "t") == {
+            "accesses": 8, "writes": 4, "scans": 2, "bytes": 80}
+
+    def test_remainder_flush(self):
+        ctx = SimContext()
+        list(instrumented(self._trace(10), ctx, name="t", batch=4))
+        assert self._counts(ctx, "t") == {
+            "accesses": 10, "writes": 5, "scans": 3, "bytes": 100}
+
+    def test_empty_trace_counts_nothing(self):
+        ctx = SimContext()
+        assert list(instrumented([], ctx, name="t")) == []
+        assert self._counts(ctx, "t")["accesses"] == 0
+
+    def test_blocks_pass_through_and_count(self):
+        ctx = SimContext()
+        trace = blockify(self._trace(10), block_ops=4)
+        out = list(instrumented(trace, ctx, name="t", batch=4))
+        assert [type(item) for item in out] == [AccessBlock] * 3
+        assert self._counts(ctx, "t") == {
+            "accesses": 10, "writes": 5, "scans": 3, "bytes": 100}
+
+    def test_mixed_stream_counts_once_each(self):
+        ctx = SimContext()
+        scalar = self._trace(6)
+        mixed = scalar[:2] + blockify(scalar[2:5], 2) + scalar[5:]
+        out = list(instrumented(mixed, ctx, name="t", batch=4))
+        assert pages(out) == [0, 1, 2, 3, 4, 5]
+        assert self._counts(ctx, "t")["accesses"] == 6
