@@ -20,15 +20,17 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # The gated scenario sweeps (mirrors the CI sweep job): E1/E2/E4/E7
-# fan out across workers, results land in results/sweeps/, and each
-# sweep's baseline shape invariants must hold.
+# plus the A7 interference grid fan out across workers, results land
+# in results/sweeps/, and each sweep's baseline shape invariants must
+# hold.
 sweep:
 	$(PYTHON) -m repro sweep specs/e1_paths.json specs/e2_tiering.json \
 		specs/e4_transfer_ladder.json specs/e7_distribution.json \
+		specs/a7_interference.json \
 		--jobs 4 --gate
 
 # Wall-clock microbenchmarks of the simulator fast lane, gated against
-# results/bench/BENCH_PR3.json (lane equivalence, digest identity,
+# results/bench/BENCH_PR6.json (lane equivalence, digest identity,
 # speedup floors). See docs/performance.md.
 perfbench:
 	$(PYTHON) -m repro perfbench --check

@@ -39,6 +39,16 @@ from .replacement import (
     make_policy,
 )
 from .scaleout import ScaleOutConfig, ScaleOutEngine
+from .sessions import (
+    ClientSession,
+    ConcurrentEngine,
+    FairnessPolicy,
+    FifoPolicy,
+    RoundRobinPolicy,
+    SessionReport,
+    SessionRunReport,
+    WeightedPolicy,
+)
 from .shared import SharedEngineConfig, SharedRackEngine
 from .temperature import ExactTracker, SampledTracker
 from .txn import OLTPReport, TwoPhaseLockingExecutor
@@ -48,13 +58,17 @@ __all__ = [
     "Autoscaler",
     "BufferPoolStats",
     "CXLSharedOracle",
+    "ClientSession",
     "ClockPolicy",
     "ComposableRack",
+    "ConcurrentEngine",
     "DbCostPolicy",
     "ElasticCluster",
     "EngineReport",
     "ExactTracker",
     "FailoverOrchestrator",
+    "FairnessPolicy",
+    "FifoPolicy",
     "FixedServerRack",
     "Frame",
     "LRUKPolicy",
@@ -72,10 +86,13 @@ __all__ = [
     "QueryJob",
     "RPCOracle",
     "RackScheduler",
+    "RoundRobinPolicy",
     "SampledTracker",
     "ScaleOutConfig",
     "ScaleOutEngine",
     "ScaleUpEngine",
+    "SessionReport",
+    "SessionRunReport",
     "SharedEngineConfig",
     "SharedRackEngine",
     "StaticPolicy",
@@ -85,6 +102,7 @@ __all__ = [
     "TieredBufferPool",
     "TwoPhaseLockingExecutor",
     "TwoQPolicy",
+    "WeightedPolicy",
     "WriteAheadLog",
     "make_policy",
 ]

@@ -30,6 +30,17 @@ wall-clock cost.
 * :meth:`TieredBufferPool._access_compat` — the frozen pre-table
   reference (per-access spec arithmetic); the perfbench compat lane
   measures against it so speedups are computed in-process.
+
+Session lane: between :meth:`TieredBufferPool.session_begin` and
+:meth:`TieredBufferPool.session_end` every lane times accesses
+against a *session clock cursor* (an unbound
+:class:`~repro.sim.clock.SimClock` owned by one
+:class:`~repro.core.sessions.ClientSession`) instead of the pool's
+bound clock, and folds arrival-order waits on the tier's shared
+resources (:class:`~repro.sim.bandwidth.WaitQueue`) into the demand
+latency. A lone session never waits — its own completion is always at
+or past the resource's free time — so an N=1 session run stays
+byte-identical to the single-stream lanes.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..errors import BufferPoolError, PageFaultError
+from ..sim.bandwidth import WaitQueue
 from ..sim.clock import SimClock
 from ..sim.context import SimContext
 from ..sim.interconnect import AccessPath, PathTiming
@@ -219,6 +231,15 @@ class TieredBufferPool:
         note = getattr(placement, "note_accesses", None)
         self._placement_headroom = headroom if note is not None else None
         self._placement_note = note if headroom is not None else None
+        # Session lane (see module docstring): while a ConcurrentEngine
+        # quantum runs, accesses are timed against that session's clock
+        # cursor and contend on per-resource wait queues. Both fields
+        # are None outside a quantum so single-stream runs pay only a
+        # None-check on the hot paths.
+        self._session_clock: SimClock | None = None
+        self._session_queues: list[tuple[WaitQueue, ...]] | None = None
+        self._wait_queues: list[tuple[WaitQueue, ...]] | None = None
+        self._session_wait_ns = 0.0
 
     @staticmethod
     def _path_timing(path: AccessPath) -> PathTiming | None:
@@ -235,6 +256,98 @@ class TieredBufferPool:
         """Toggle the batched fast lane (simulated results are
         identical either way; only wall-clock changes)."""
         self.fast_lane = bool(enabled)
+
+    # -- the session lane -----------------------------------------------------
+
+    def wait_queues(self) -> list[tuple[WaitQueue, ...]]:
+        """Per-tier wait queues over each tier's shared path resources.
+
+        One :class:`~repro.sim.bandwidth.WaitQueue` per distinct link
+        and per terminal device, *shared* between tiers whose paths
+        share the resource — two tiers behind the same CXL port
+        contend with each other; separate expanders do not. Built on
+        first use and persistent across session runs, the way link
+        channels persist across :meth:`access_at` calls.
+        """
+        queues = self._wait_queues
+        if queues is None:
+            by_resource: dict[int, WaitQueue] = {}
+            queues = []
+            for tier in self.tiers:
+                path = tier.path
+                tier_queues = []
+                for link in getattr(path, "links", ()) or ():
+                    queue = by_resource.get(id(link))
+                    if queue is None:
+                        queue = WaitQueue(f"link.{link.name}",
+                                          link.effective_bandwidth)
+                        by_resource[id(link)] = queue
+                    tier_queues.append(queue)
+                device = getattr(path, "device", None)
+                if device is not None:
+                    queue = by_resource.get(id(device))
+                    if queue is None:
+                        spec = device.spec
+                        queue = WaitQueue(
+                            f"device.{device.name}",
+                            spec.effective_load_bandwidth,
+                            spec.effective_store_bandwidth,
+                        )
+                        by_resource[id(device)] = queue
+                    tier_queues.append(queue)
+                queues.append(tuple(tier_queues))
+            self._wait_queues = queues
+        return queues
+
+    def session_begin(self, clock: SimClock,
+                      contended: bool = True) -> None:
+        """Enter the session lane: time accesses against *clock* (a
+        session-local cursor) and, when *contended*, fold per-resource
+        queue waits into demand latency.
+
+        The cursor is deliberately **not** bound to the context — the
+        pool's own clock remains the run's single authoritative clock
+        (advanced only by the event loop), so the one-clock invariant
+        of :meth:`~repro.sim.context.SimContext.bind_clock` holds.
+        """
+        self._session_clock = clock
+        self._session_queues = self.wait_queues() if contended else None
+
+    def session_end(self) -> None:
+        """Leave the session lane; single-stream behaviour resumes."""
+        self._session_clock = None
+        self._session_queues = None
+
+    @property
+    def session_wait_ns(self) -> float:
+        """Total contention wait folded into demand latency so far."""
+        return self._session_wait_ns
+
+    def _contend(self, tier_index: int, now_ns: float, latency: float,
+                 nbytes: int, write: bool) -> float:
+        """Queue one access on its tier's shared resources.
+
+        Returns the latency with any arrival-order wait folded in as a
+        single addition — zero wait returns the float *untouched*,
+        which is what keeps N=1 session runs byte-identical to the
+        single-stream lanes.
+        """
+        tier_queues = self._session_queues[tier_index]
+        wait = 0.0
+        bottleneck = None
+        for queue in tier_queues:
+            delay = queue._free_at - now_ns
+            if delay > wait:
+                wait = delay
+                bottleneck = queue
+        if wait > 0.0:
+            self._session_wait_ns += wait
+            bottleneck.note_wait(wait)
+            latency = wait + latency
+        start = now_ns + wait
+        for queue in tier_queues:
+            queue.occupy_run(start, nbytes, 1, write)
+        return latency
 
     # -- introspection -------------------------------------------------------
 
@@ -317,20 +430,32 @@ class TieredBufferPool:
         The placement policy observes every access and may migrate
         pages as a side effect (charged to migration time, not to the
         returned demand latency).
+
+        In the session lane the access is timed against the session's
+        clock cursor and any arrival-order wait on the tier's shared
+        resources is folded into the returned latency.
         """
         self.stats.accesses += 1
         self.tracker.record(page_id, is_scan=is_scan)
+        clock = self._session_clock
+        if clock is None:
+            clock = self.clock
         frame = self._frames.get(page_id)
         if frame is None:
             latency = self._fault(page_id, is_scan=is_scan)
             frame = self._frames[page_id]
             self.stats.misses += 1
             self.stats.fault_time_ns += latency
+            if self._session_queues is not None:
+                # The fault installs a full page into the admit tier;
+                # that write is what occupies the tier's resources.
+                latency = self._contend(frame.tier_index, clock._now,
+                                        latency, self.page_size, True)
             trace = self._trace
             if trace.enabled:
                 # The clock advances by `latency` just below; the span
                 # covers exactly that charged interval.
-                now = self.clock.now
+                now = clock.now
                 trace.emit_span("pool.fault", "pool", now, now + latency,
                                 {"page": page_id})
         else:
@@ -341,9 +466,12 @@ class TieredBufferPool:
             else:
                 latency = (tier.path.read_time_sequential(nbytes)
                            if is_scan else tier.path.read_time(nbytes))
+            if self._session_queues is not None:
+                latency = self._contend(frame.tier_index, clock._now,
+                                        latency, nbytes, write)
             self._register_hit(page_id, frame.tier_index)
-        frame.touch(self.clock.now, write=write)
-        self.clock.advance(latency)
+        frame.touch(clock.now, write=write)
+        clock.advance(latency)
         self.stats.demand_time_ns += latency
         self.placement.on_access(page_id, frame.tier_index, is_scan=is_scan)
         return latency
@@ -358,15 +486,21 @@ class TieredBufferPool:
         """
         self.stats.accesses += 1
         self.tracker.record(page_id, is_scan=is_scan)
+        clock = self._session_clock
+        if clock is None:
+            clock = self.clock
         frame = self._frames.get(page_id)
         if frame is None:
             latency = self._fault(page_id, is_scan=is_scan)
             frame = self._frames[page_id]
             self.stats.misses += 1
             self.stats.fault_time_ns += latency
+            if self._session_queues is not None:
+                latency = self._contend(frame.tier_index, clock._now,
+                                        latency, self.page_size, True)
             trace = self._trace
             if trace.enabled:
-                now = self.clock.now
+                now = clock.now
                 trace.emit_span("pool.fault", "pool", now, now + latency,
                                 {"page": page_id})
         else:
@@ -377,9 +511,12 @@ class TieredBufferPool:
             else:
                 latency = (path.read_time_sequential_uncached(nbytes)
                            if is_scan else path.read_time_uncached(nbytes))
+            if self._session_queues is not None:
+                latency = self._contend(frame.tier_index, clock._now,
+                                        latency, nbytes, write)
             self._register_hit(page_id, frame.tier_index)
-        frame.touch(self.clock.now, write=write)
-        self.clock.advance(latency)
+        frame.touch(clock.now, write=write)
+        clock.advance(latency)
         self.stats.demand_time_ns += latency
         self.placement.on_access(page_id, frame.tier_index, is_scan=is_scan)
         return latency
@@ -421,7 +558,9 @@ class TieredBufferPool:
         n = len(seq)
         if n == 0:
             return accum
-        clock = self.clock
+        clock = self._session_clock
+        if clock is None:
+            clock = self.clock
         if not self.fast_lane:
             advance = clock.advance
             compat = self._access_compat
@@ -450,6 +589,7 @@ class TieredBufferPool:
         note = self._placement_note
         tracker_batch = self._tracker_batch
         tracker_record = self.tracker.record
+        queues = self._session_queues
         i = 0
         while i < n:
             headroom = headroom_fn() if headroom_fn is not None else 0
@@ -476,6 +616,9 @@ class TieredBufferPool:
             cur_tier = -1
             seg_start = i
             lat = 0.0
+            lat_i = 0.0
+            tier_queues: tuple[WaitQueue, ...] = ()
+            seg_fresh = False
             boundary = False
             while i < end:
                 frame = frames_get(seq[i])
@@ -485,8 +628,11 @@ class TieredBufferPool:
                 tier_index = frame.tier_index
                 if tier_index != cur_tier:
                     if seg_start < i:
-                        self._flush_segment(seq, seg_start, i, cur_tier,
-                                            nbytes, write)
+                        self._flush_segment(
+                            seq, seg_start, i, cur_tier, nbytes, write,
+                            end_ns=(now - post_ns) if post_ns else now,
+                            lat=lat,
+                        )
                     timing = tier_timing[tier_index]
                     if timing is None:
                         boundary = True
@@ -501,23 +647,51 @@ class TieredBufferPool:
                         lat = (timing.seq_read_latency_ns if is_scan
                                else timing.read_latency_ns
                                ) + timing.read_transfer.time_ns(nbytes)
+                    if queues is not None:
+                        tier_queues = queues[tier_index]
+                        seg_fresh = True
                 if think_ns:
                     now += think_ns
+                if seg_fresh:
+                    # First access of a contended segment: fold the
+                    # arrival-order queue wait into its latency as one
+                    # addition, exactly as the scalar _contend does.
+                    # Later accesses of the run cannot wait (the run
+                    # itself keeps the resource busy behind them).
+                    seg_fresh = False
+                    wait = 0.0
+                    bottleneck = None
+                    for queue in tier_queues:
+                        delay = queue._free_at - now
+                        if delay > wait:
+                            wait = delay
+                            bottleneck = queue
+                    if wait > 0.0:
+                        self._session_wait_ns += wait
+                        bottleneck.note_wait(wait)
+                        lat_i = wait + lat
+                    else:
+                        lat_i = lat
+                else:
+                    lat_i = lat
                 # Inlined frame.touch at the pre-advance clock value,
                 # as in the scalar path.
                 frame.accesses += 1
                 frame.last_access_ns = now
                 if write:
                     frame.dirty = True
-                now += lat
-                pool_demand += lat
-                accum += lat
+                now += lat_i
+                pool_demand += lat_i
+                accum += lat_i
                 if post_ns:
                     now += post_ns
                 i += 1
             if seg_start < i:
-                self._flush_segment(seq, seg_start, i, cur_tier,
-                                    nbytes, write)
+                self._flush_segment(
+                    seq, seg_start, i, cur_tier, nbytes, write,
+                    end_ns=(now - post_ns) if post_ns else now,
+                    lat=lat,
+                )
             count = i - win_start
             if count:
                 stats.accesses += count
@@ -543,11 +717,18 @@ class TieredBufferPool:
         return accum
 
     def _flush_segment(self, seq: Sequence[PageId], start: int, end: int,
-                       tier_index: int, nbytes: int, write: bool) -> None:
+                       tier_index: int, nbytes: int, write: bool,
+                       end_ns: float = 0.0, lat: float = 0.0) -> None:
         """Apply the deferred per-tier bookkeeping of a same-tier run:
         replacement recency, hit counters, device traffic. Counter
         order within a window does not affect simulated results (they
-        are integers read only at scalar boundaries)."""
+        are integers read only at scalar boundaries).
+
+        In the session lane, *end_ns* (demand completion of the run's
+        last access) and *lat* (its unloaded latency) place the run's
+        occupancy on the tier's wait queues — the batched equivalent of
+        the per-access ``occupy_run`` in :meth:`_contend`.
+        """
         count = end - start
         tier = self.tiers[tier_index]
         policy = tier.policy
@@ -566,6 +747,11 @@ class TieredBufferPool:
         else:
             device_stats.loads += count
             device_stats.load_bytes += count * nbytes
+        queues = self._session_queues
+        if queues is not None:
+            start_last = end_ns - lat
+            for queue in queues[tier_index]:
+                queue.occupy_run(start_last, nbytes, count, write)
 
     def _register_hit(self, page_id: PageId, tier_index: int) -> None:
         """Shared hit bookkeeping for the scalar access paths."""
@@ -754,10 +940,13 @@ class TieredBufferPool:
         """Move a resident page to another tier (promotion/demotion).
 
         Returns the elapsed ns, which is also recorded as migration
-        time and advances the pool clock.
+        time and advances the pool clock (or, inside a session
+        quantum, that session's clock cursor — migrations triggered by
+        a session's accesses are time the session experiences).
         """
         elapsed = self._migrate_locked(page_id, to_tier, demotion=False)
-        self.clock.advance(elapsed)
+        clock = self._session_clock
+        (clock if clock is not None else self.clock).advance(elapsed)
         return elapsed
 
     def _migrate_locked(self, page_id: PageId, to_tier: int,
@@ -788,7 +977,8 @@ class TieredBufferPool:
             self.stats.migration_time_ns += elapsed
         trace = self._trace
         if trace.enabled:
-            now = self.clock.now
+            session_clock = self._session_clock
+            now = (session_clock or self.clock).now
             trace.emit_span(
                 "pool.demotion" if demotion else "pool.promotion",
                 "pool", now, now + elapsed,

@@ -8,6 +8,7 @@ examples and experiments construct first.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -79,17 +80,49 @@ class EngineReport:
 
 @dataclass
 class ConcurrentReport:
-    """Outcome of a multi-threaded run."""
+    """Outcome of a multi-threaded run (the heap-interleave compat
+    lane; see :class:`~repro.core.sessions.SessionRunReport` for the
+    session scheduler's report).
+
+    Per-thread latency lists are the only stored copy; the flat view,
+    the latency sum, and per-thread op counts are derived, so each op
+    is stored once instead of three times. Percentile semantics are
+    unchanged — :func:`~repro.metrics.stats.percentile` sorts its
+    samples, so deriving the flat view in thread order instead of
+    completion order cannot change p95.
+    """
 
     name: str
     threads: int = 1
     ops: int = 0
     makespan_ns: float = 0.0
-    latency_sum_ns: float = 0.0
-    latencies: list[float] = field(default_factory=list)
-    per_thread_ops: dict[int, int] = field(default_factory=dict)
     latencies_by_thread: dict[int, list[float]] = field(
         default_factory=dict)
+
+    @property
+    def latencies(self) -> list[float]:
+        """Flat latency view, derived per call in thread order."""
+        return [
+            latency for thread in sorted(self.latencies_by_thread)
+            for latency in self.latencies_by_thread[thread]
+        ]
+
+    @property
+    def latency_sum_ns(self) -> float:
+        """Total access latency across all threads."""
+        total = 0.0
+        for thread in sorted(self.latencies_by_thread):
+            for latency in self.latencies_by_thread[thread]:
+                total += latency
+        return total
+
+    @property
+    def per_thread_ops(self) -> dict[int, int]:
+        """Op counts per thread, derived from the latency lists."""
+        return {
+            thread: len(latencies)
+            for thread, latencies in self.latencies_by_thread.items()
+        }
 
     @property
     def mean_latency_ns(self) -> float:
@@ -101,10 +134,11 @@ class ConcurrentReport:
     @property
     def p95_latency_ns(self) -> float:
         """95th-percentile access latency."""
-        if not self.latencies:
+        latencies = self.latencies
+        if not latencies:
             return 0.0
         from ..metrics.stats import percentile
-        return percentile(self.latencies, 0.95)
+        return percentile(latencies, 0.95)
 
     @property
     def throughput_ops_per_s(self) -> float:
@@ -395,15 +429,23 @@ class ScaleUpEngine:
     def run_concurrent(self, traces: list[Iterable[Access]],
                        label: str | None = None
                        ) -> "ConcurrentReport":
-        """Execute several traces as concurrent threads.
+        """Execute several traces as concurrent threads (compat lane).
+
+        .. deprecated::
+            This is the ad-hoc heap interleave kept for compatibility;
+            new code should use :meth:`run_sessions` (the
+            discrete-event session scheduler in
+            :mod:`repro.core.sessions`), which is block-native,
+            deterministic under session permutation, and byte-identical
+            to :meth:`run` at N=1. Usage here is observable via the
+            ``engine.concurrent_compat_runs`` metric.
 
         Threads advance in global time order (the thread with the
         smallest clock issues next), so bandwidth contention on
         shared devices and links is resolved in arrival order. Think
-        time overlaps across threads; memory transfers contend.
+        time overlaps across threads; memory transfers contend. Block
+        traces are accepted but expanded to scalar accesses.
         """
-        import heapq
-
         if not traces:
             raise ConfigError("need at least one trace")
         pool = self.pool
@@ -431,10 +473,6 @@ class ScaleUpEngine:
                 write=access.write, is_scan=access.is_scan,
             )
             report.ops += 1
-            report.per_thread_ops[thread] = \
-                report.per_thread_ops.get(thread, 0) + 1
-            report.latency_sum_ns += done - issue
-            report.latencies.append(done - issue)
             report.latencies_by_thread.setdefault(thread, []).append(
                 done - issue)
             heapq.heappush(heap, (done, thread))
@@ -449,8 +487,28 @@ class ScaleUpEngine:
                 {"threads": report.threads, "ops": report.ops},
             )
         ctx.metrics.incr("engine.concurrent_runs")
+        ctx.metrics.incr("engine.concurrent_compat_runs")
         ctx.metrics.incr("engine.ops", report.ops)
         return report
+
+    def run_sessions(self, sessions, label: str | None = None,
+                     policy=None, morsel_ops: int | None = None):
+        """Execute several client sessions as genuine concurrency.
+
+        Convenience front end for
+        :class:`~repro.core.sessions.ConcurrentEngine`: *sessions* may
+        hold :class:`~repro.core.sessions.ClientSession` objects or
+        raw traces (scalar or block form). Returns a
+        :class:`~repro.core.sessions.SessionRunReport`. An N=1 run is
+        byte-identical to :meth:`run` on the same trace; N>1 runs are
+        deterministic and permutation-invariant.
+        """
+        from .sessions import MORSEL_OPS, ConcurrentEngine
+        executor = ConcurrentEngine(
+            self.pool, name=self.name, policy=policy,
+            morsel_ops=MORSEL_OPS if morsel_ops is None else morsel_ops,
+        )
+        return executor.run(sessions, label=label)
 
     def warm_with(self, trace: Iterable[Access]) -> None:
         """Run a trace purely to populate the pool (report discarded)."""

@@ -267,6 +267,104 @@ def e7_sharing_vs_scaleout(scenario: Scenario, ctx: SimContext) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# A7 — OLTP/OLAP bandwidth interference on expanders (Sec 3.1).
+# ---------------------------------------------------------------------------
+
+@runner("a7.interference")
+def a7_interference(scenario: Scenario, ctx: SimContext) -> dict:
+    """OLTP point-lookup tail under concurrent scan sessions.
+
+    The sweep-native port of ``bench_a7_bandwidth_interference``: each
+    cell runs ``workload.point_sessions`` point-lookup clients and
+    ``workload.scan_sessions`` 64 KiB-readahead scan clients as genuine
+    concurrency through the session scheduler
+    (:class:`~repro.core.sessions.ConcurrentEngine`), on either one
+    shared expander or two (``topology.expanders``: OLTP pinned to its
+    own device). The gate asserts the interference shape — scans
+    inflate the point tail on a shared expander, a second expander
+    restores it — across cells.
+    """
+    import random
+
+    from ..core import ScaleUpEngine, StaticPolicy
+    from ..core.buffer import Tier, TieredBufferPool
+    from ..core.sessions import ClientSession
+    from ..sim.interconnect import AccessPath, Link
+    from ..sim.memory import MemoryDevice
+    from ..workloads import Access
+
+    topo, wl = scenario.topology, scenario.workload
+    oltp_pages = int(_param(wl, "oltp_pages", 1_000))
+    olap_pages = int(_param(wl, "olap_pages", 4_000))
+    expanders = int(_param(topo, "expanders", 1))
+
+    if expanders == 1:
+        engine = ScaleUpEngine.build(
+            dram_pages=1, cxl_pages=oltp_pages + olap_pages + 16,
+            placement=StaticPolicy(lambda _p: 1),
+            with_storage=False, ctx=ctx)
+    elif expanders == 2:
+        tiers = [
+            Tier("dram", AccessPath(
+                device=MemoryDevice(config.local_ddr5(), ctx=ctx)), 1),
+            Tier("cxl-oltp", AccessPath(
+                device=MemoryDevice(config.cxl_expander_ddr5(),
+                                    name="oltp-exp", ctx=ctx),
+                links=(Link(config.cxl_port(), ctx=ctx),)),
+                oltp_pages + 8),
+            Tier("cxl-olap", AccessPath(
+                device=MemoryDevice(config.cxl_expander_ddr5(),
+                                    name="olap-exp", ctx=ctx),
+                links=(Link(config.cxl_port(), ctx=ctx),)),
+                olap_pages + 8),
+        ]
+        pool = TieredBufferPool(
+            tiers=tiers,
+            placement=StaticPolicy(
+                lambda p: 1 if p < oltp_pages else 2),
+            ctx=ctx)
+        engine = ScaleUpEngine(pool)
+    else:
+        raise ConfigError(
+            f"topology.expanders must be 1 or 2, got {expanders}")
+    for page in range(oltp_pages + olap_pages):
+        engine.pool.access(page)
+
+    def point_trace(seed: int):
+        rng = random.Random(seed)
+        return [Access(page_id=rng.randrange(oltp_pages),
+                       think_ns=float(wl.get("think_ns", 150.0)))
+                for _ in range(int(wl.get("point_ops", 2_000)))]
+
+    def readahead_scan():
+        chunk = int(wl.get("chunk_pages", 16))
+        out = []
+        for _ in range(int(wl.get("scan_repeats", 4))):
+            for start in range(0, olap_pages, chunk):
+                out.append(Access(
+                    page_id=oltp_pages + start, is_scan=True,
+                    nbytes=chunk * 4096, think_ns=0.0))
+        return out
+
+    point_names = [f"pt-{i}"
+                   for i in range(int(_param(wl, "point_sessions", 2)))]
+    sessions = [ClientSession(name, point_trace(scenario.seed + i))
+                for i, name in enumerate(point_names)]
+    sessions += [ClientSession(f"scan-{i}", readahead_scan())
+                 for i in range(int(_param(wl, "scan_sessions", 0)))]
+    report = engine.run_sessions(
+        sessions, label=f"a7-x{expanders}",
+        morsel_ops=int(scenario.policy.get("morsel_ops", 8)))
+    return {
+        "oltp_p95_ns": report.p95_for(point_names),
+        "oltp_mean_ns": report.session(point_names[0]).mean_latency_ns,
+        "wait_ns": report.wait_ns,
+        "makespan_ns": report.makespan_ns,
+        "ops": report.ops,
+    }
+
+
+# ---------------------------------------------------------------------------
 # debug.* — executor-facing kernels used by the harness's own tests.
 # ---------------------------------------------------------------------------
 

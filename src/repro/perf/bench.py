@@ -31,13 +31,15 @@ from typing import Callable
 import numpy as np
 
 from ..core.engine import EngineReport, ScaleUpEngine
+from ..core.placement import StaticPolicy
+from ..core.sessions import ClientSession, SessionRunReport
 from ..errors import ConfigError
 from ..workloads.scans import (
     mixed_htap_blocks,
     mixed_htap_trace,
     scan_trace,
 )
-from ..workloads.traces import AccessBlock
+from ..workloads.traces import Access, AccessBlock
 from ..workloads.ycsb import YCSBConfig, ycsb_blocks, ycsb_trace
 
 
@@ -249,6 +251,94 @@ def _engine_runner(
     return run
 
 
+# -- concurrent-session microbenchmark ---------------------------------------
+
+
+def _digest_session_report(engine: ScaleUpEngine,
+                           report: SessionRunReport) -> str:
+    """Digest every simulated quantity of a concurrent session run.
+
+    Covers the run report (per-session demand/think/wait/cursor floats,
+    name-keyed and name-sorted, so the digest is permutation-invariant
+    by construction) and the pool's accumulated state.
+    """
+    stats = engine.pool.stats
+    payload = {
+        "makespan_ns": repr(report.makespan_ns),
+        "clock_now": repr(engine.pool.clock.now),
+        "policy": report.policy,
+        "sessions": {
+            name: {
+                "ops": session.ops,
+                "demand_ns": repr(session.demand_ns),
+                "think_ns": repr(session.think_ns),
+                "wait_ns": repr(session.wait_ns),
+                "end_ns": repr(session.end_ns),
+                "misses": session.misses,
+                "migrations": session.migrations,
+            }
+            for name, session in sorted(report.sessions.items())
+        },
+        "pool": {
+            "accesses": stats.accesses,
+            "misses": stats.misses,
+            "writebacks": stats.writebacks,
+            "migrations": stats.migrations,
+            "demand_time_ns": repr(stats.demand_time_ns),
+            "fault_time_ns": repr(stats.fault_time_ns),
+            "migration_time_ns": repr(stats.migration_time_ns),
+            "per_tier": [tier.snapshot() for tier in stats.per_tier],
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _contended_builder(scale: float) -> tuple[ScaleUpEngine, list]:
+    """Eight readahead scan sessions sharing one expander.
+
+    Every session streams a disjoint CXL-resident range with 64 KiB
+    requests, so the run is bandwidth-bound and every quantum both
+    waits on and re-occupies the shared link/device queues — the
+    session scheduler's hot path.
+    """
+    num_sessions = 8
+    pages_per = max(64, int(4_000 * scale))
+    repeats = 8
+    total = num_sessions * pages_per
+    engine = ScaleUpEngine.build(
+        dram_pages=1, cxl_pages=total + 16,
+        placement=StaticPolicy(lambda _p: 1),
+        name="perf-contended",
+    )
+    engine.warm_with(scan_trace(0, total, repeats=1, think_ns=0.0))
+    chunk = 16
+    sessions = []
+    for index in range(num_sessions):
+        base = index * pages_per
+        trace = [
+            Access(page_id=base + start, is_scan=True,
+                   nbytes=chunk * 4096, think_ns=0.0)
+            for _ in range(repeats)
+            for start in range(0, pages_per, chunk)
+        ]
+        sessions.append(ClientSession(f"scan-{index}", trace))
+    return engine, sessions
+
+
+def _contended_runner(fast: bool, scale: float) -> tuple[float, str]:
+    engine, sessions = _contended_builder(scale)
+    _set_lane(engine, fast)
+    start = time.perf_counter()
+    # A 128-access quantum keeps scheduling fine-grained (each session
+    # runs thousands of accesses) while letting the batched lane
+    # amortise per-access bookkeeping across whole quanta.
+    report = engine.run_sessions(sessions, label="perf:scan-contended",
+                                 morsel_ops=128)
+    wall_s = time.perf_counter() - start
+    return wall_s, _digest_session_report(engine, report)
+
+
 # -- trace-generation microbenchmark -----------------------------------------
 
 
@@ -326,6 +416,13 @@ MICROBENCHES: dict[str, BenchSpec] = {
                     " (coalescer worst case, block path)",
         min_speedup=2.0,
         runner=_engine_runner(_htap_blocks_builder, "htap-blocks"),
+    ),
+    "scan-contended": BenchSpec(
+        name="scan-contended",
+        description="8 concurrent scan sessions contending for one"
+                    " expander (session scheduler hot path)",
+        min_speedup=2.0,
+        runner=_contended_runner,
     ),
     "trace-gen": BenchSpec(
         name="trace-gen",

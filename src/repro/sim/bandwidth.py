@@ -123,3 +123,98 @@ class SharedChannel:
 
     def __repr__(self) -> str:
         return f"SharedChannel({self.name!r}, bw={self.bandwidth:.2f}B/ns)"
+
+
+class WaitQueue:
+    """Arrival-order wait queue over one shared physical resource.
+
+    Where :class:`SharedChannel` answers "when does *this* transfer
+    finish" (folding the queueing delay into a returned completion
+    time), a WaitQueue separates the two questions the session
+    scheduler asks: :meth:`delay_ns` — how long would a request
+    arriving now wait before the resource frees up — and
+    :meth:`occupy_run` — reserve the resource for a run of transfers
+    whose timing has already been charged analytically.
+
+    Requests are served strictly in arrival order. The concurrent
+    session scheduler delivers arrivals in a deterministic order
+    (simultaneous wakeups are collected and ordered by the fairness
+    policy, with session *names* as the tie-breaker), so
+    equal-timestamp FIFO here is exact and independent of session
+    list order — the property the permutation-invariance tests pin.
+
+    Transfer service times come from :class:`TransferTable`\\ s at the
+    resource's *effective* read/write bandwidths, so an uncontended
+    requester is never delayed: the analytic access latency already
+    covers at least the transfer service time, which means
+    ``free_at`` can never pass a single stream's own clock. That is
+    the mechanism behind the N=1 byte-identity guarantee.
+    """
+
+    __slots__ = ("name", "read_table", "write_table", "_free_at",
+                 "_bytes", "_busy_ns", "_grants", "_waits", "_wait_ns")
+
+    def __init__(self, name: str, read_bandwidth: float,
+                 write_bandwidth: float | None = None) -> None:
+        self.name = name
+        self.read_table = TransferTable(read_bandwidth)
+        self.write_table = TransferTable(
+            read_bandwidth if write_bandwidth is None else write_bandwidth
+        )
+        self._free_at = 0.0
+        self._bytes = 0
+        self._busy_ns = 0.0
+        self._grants = 0
+        self._waits = 0
+        self._wait_ns = 0.0
+
+    @property
+    def free_at_ns(self) -> float:
+        """Virtual time at which the resource next goes idle."""
+        return self._free_at
+
+    def delay_ns(self, now_ns: float) -> float:
+        """How long a request arriving at *now_ns* would wait (ns)."""
+        delay = self._free_at - now_ns
+        return delay if delay > 0.0 else 0.0
+
+    def note_wait(self, wait_ns: float) -> None:
+        """Record that a request waited *wait_ns* on this resource
+        (attributed by the caller to the bottleneck queue only)."""
+        self._waits += 1
+        self._wait_ns += wait_ns
+
+    def occupy_run(self, last_start_ns: float, nbytes: int,
+                   count: int = 1, write: bool = False) -> None:
+        """Reserve the resource for *count* back-to-back transfers of
+        *nbytes*, the last one starting at *last_start_ns*.
+
+        Only the tail matters for future arrivals — the resource is
+        free once the last transfer's service completes — so a whole
+        same-shape run is charged with one call. Byte and busy-time
+        accounting still cover every transfer in the run.
+        """
+        table = self.write_table if write else self.read_table
+        service = table.time_ns(nbytes)
+        end = last_start_ns + service
+        if end > self._free_at:
+            self._free_at = end
+        self._bytes += count * nbytes
+        self._busy_ns += count * service
+        self._grants += count
+
+    def snapshot(self) -> dict:
+        """Accounting as a dict (metrics snapshot protocol)."""
+        return {
+            "bytes": self._bytes,
+            "busy_ns": self._busy_ns,
+            "grants": self._grants,
+            "waits": self._waits,
+            "wait_ns": self._wait_ns,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WaitQueue({self.name!r}, free_at={self._free_at:.0f}ns,"
+            f" grants={self._grants}, waits={self._waits})"
+        )

@@ -128,6 +128,18 @@ class Simulator:
             self.clock.advance_to(until_ns)
         return dispatched
 
+    def peek_time_ns(self) -> float | None:
+        """Timestamp of the next live event, or None when drained.
+
+        The concurrent session scheduler uses this to collect every
+        wakeup sharing the current instant before applying its
+        fairness policy — equal-timestamp ordering then becomes a
+        deterministic policy decision (tie-broken by session name)
+        rather than an artifact of heap insertion order.
+        """
+        head = self._peek()
+        return head.time_ns if head is not None else None
+
     def _peek(self) -> Event | None:
         """Return the next live event without dispatching it."""
         while self._queue and self._queue[0].cancelled:

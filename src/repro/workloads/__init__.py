@@ -14,6 +14,7 @@ from .traces import (
     BLOCK_OPS,
     Access,
     AccessBlock,
+    ShapeSegments,
     accesses_to_blocks,
     blocks_to_accesses,
     instrumented,
@@ -27,6 +28,7 @@ __all__ = [
     "AccessBlock",
     "BLOCK_OPS",
     "CloudWorkload",
+    "ShapeSegments",
     "TraceProfile",
     "YCSBConfig",
     "YCSB_MIXES",

@@ -227,6 +227,120 @@ class _BlockCursor:
         return out, got
 
 
+class ShapeSegments:
+    """Pull-based cursor over one trace, emitting same-shape runs.
+
+    The consumption unit of a concurrent :class:`ClientSession`:
+    :meth:`next_run` returns up to *max_ops* consecutive accesses
+    sharing one shape (size, read/write, scan flag, think time) as
+    ``(page_ids, nbytes, write, is_scan, think_ns, count)`` — exactly
+    the signature of the pool's batched lane — or ``None`` once the
+    trace is exhausted.
+
+    Blocks are consumed natively: one vectorised
+    :meth:`AccessBlock.segment_bounds` scan per block, columns
+    materialised to plain lists once. Scalar accesses are coalesced
+    with the same peek logic as the engine's inline coalescer, and a
+    block arriving mid-run flushes the scalar run first (the block is
+    served from the next call). Either delivery form yields runs that
+    concatenate to the elementwise-identical access sequence.
+    """
+
+    __slots__ = ("_iterator", "_pending", "_ids", "_sizes", "_writes",
+                 "_scans", "_thinks", "_bounds", "_seg", "_pos",
+                 "_done")
+
+    def __init__(self, trace) -> None:
+        self._iterator = iter(trace)
+        self._pending: Access | None = None
+        self._ids: list[int] | None = None
+        self._sizes: list[int] | None = None
+        self._writes: list[bool] | None = None
+        self._scans: list[bool] | None = None
+        self._thinks: list[float] | None = None
+        self._bounds: list[int] | None = None
+        self._seg = 0
+        self._pos = 0
+        self._done = False
+
+    def _load_block(self, block: AccessBlock) -> None:
+        self._ids = block.page_id.tolist()
+        self._sizes = block.nbytes.tolist()
+        self._writes = block.write.tolist()
+        self._scans = block.is_scan.tolist()
+        self._thinks = block.think_ns.tolist()
+        self._bounds = block.segment_bounds()
+        self._seg = 1
+        self._pos = 0
+
+    def _advance(self) -> bool:
+        """Pull until a scalar is pending or a block is loaded."""
+        if self._pending is not None:
+            return True
+        while not self._done:
+            item = next(self._iterator, None)
+            if item is None:
+                self._done = True
+                return False
+            if type(item) is AccessBlock:
+                if len(item):
+                    self._load_block(item)
+                    return True
+                continue
+            self._pending = item
+            return True
+        return False
+
+    def next_run(self, max_ops: int):
+        """The next same-shape run, capped at *max_ops* accesses."""
+        if max_ops <= 0:
+            return None
+        if self._ids is None and not self._advance():
+            return None
+        ids = self._ids
+        if ids is not None:
+            bounds = self._bounds
+            seg_end = bounds[self._seg]
+            start = self._pos
+            take = seg_end - start
+            if take > max_ops:
+                take = max_ops
+            stop = start + take
+            run = (ids[start:stop], self._sizes[start],
+                   self._writes[start], self._scans[start],
+                   self._thinks[start], take)
+            if stop == seg_end:
+                self._seg += 1
+                if self._seg >= len(bounds):
+                    self._ids = None
+            self._pos = stop
+            return run
+        first = self._pending
+        self._pending = None
+        page_ids = [first.page_id]
+        while len(page_ids) < max_ops:
+            item = next(self._iterator, None)
+            if item is None:
+                self._done = True
+                break
+            if type(item) is AccessBlock:
+                # Flush the scalar run at the delivery boundary; the
+                # block is served from the next call.
+                if len(item):
+                    self._load_block(item)
+                    break
+                continue
+            if (item.nbytes != first.nbytes
+                    or item.write != first.write
+                    or item.is_scan != first.is_scan
+                    or item.think_ns != first.think_ns):
+                self._pending = item
+                break
+            page_ids.append(item.page_id)
+        return (page_ids, first.nbytes, first.write, first.is_scan,
+                first.think_ns, len(page_ids))
+
+
 class _BlockBuilder:
     """Accumulates block views and re-emits ~``block_ops``-row blocks."""
 

@@ -1,0 +1,367 @@
+"""Concurrent session scheduler: determinism, fairness, contention."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ClientSession,
+    ConcurrentEngine,
+    DbCostPolicy,
+    RoundRobinPolicy,
+    ScaleUpEngine,
+    StaticPolicy,
+    WeightedPolicy,
+)
+from repro.errors import ConfigError
+from repro.sim.bandwidth import WaitQueue
+from repro.sim.context import SimContext
+from repro.workloads import (
+    Access,
+    mixed_htap_blocks,
+    mixed_htap_trace,
+    scan_trace,
+)
+
+
+def cxl_engine(pages=2_000, fast=True, warm=None, placement=None):
+    ctx = SimContext()
+    engine = ScaleUpEngine.build(
+        dram_pages=1, cxl_pages=pages,
+        placement=placement or StaticPolicy(lambda _p: 1),
+        with_storage=False, ctx=ctx,
+    )
+    for page in range(pages - 8 if warm is None else warm):
+        engine.pool.access(page)
+    engine.pool.set_fast_lane(fast)
+    return engine
+
+
+def htap_engine(fast=True):
+    """Small DRAM + CXL under the cost policy: live faults and
+    migrations, the hard case for lane identity."""
+    ctx = SimContext()
+    engine = ScaleUpEngine.build(
+        dram_pages=256, cxl_pages=2_000,
+        placement=DbCostPolicy(), with_storage=False, ctx=ctx,
+    )
+    engine.pool.set_fast_lane(fast)
+    return engine
+
+
+def point_trace(seed, ops=400, pages=1_000, think_ns=100.0):
+    rng = random.Random(seed)
+    return [Access(page_id=rng.randrange(pages), think_ns=think_ns)
+            for _ in range(ops)]
+
+
+def readahead_scan(first_page, num_pages, repeats=1, chunk_pages=16):
+    out = []
+    for _ in range(repeats):
+        for start in range(0, num_pages, chunk_pages):
+            out.append(Access(
+                page_id=first_page + start, is_scan=True,
+                nbytes=chunk_pages * 4096, think_ns=0.0,
+            ))
+    return out
+
+
+def pool_digest(engine):
+    """Every float the pool accumulated, repr'd (bit-exact)."""
+    stats = engine.pool.stats
+    return (
+        repr(engine.pool.clock.now),
+        repr(stats.demand_time_ns),
+        repr(stats.fault_time_ns),
+        repr(stats.migration_time_ns),
+        stats.accesses, stats.misses, stats.migrations,
+        tuple(tier.hits for tier in stats.per_tier),
+    )
+
+
+def run_digest(engine, report):
+    """EngineReport floats + pool state, repr'd."""
+    return (
+        report.ops,
+        repr(report.total_ns), repr(report.demand_ns),
+        repr(report.think_ns),
+        report.misses, report.migrations,
+    ) + pool_digest(engine)
+
+
+def sessions_digest(engine, report):
+    """SessionRunReport floats + pool state, repr'd. Collapsed to the
+    same shape as :func:`run_digest` for the N=1 identity checks."""
+    session = next(iter(report.sessions.values()))
+    return (
+        session.ops,
+        repr(session.total_ns), repr(session.demand_ns),
+        repr(session.think_ns),
+        session.misses, session.migrations,
+    ) + pool_digest(engine)
+
+
+TRACES = {
+    "oltp-points": lambda: point_trace(7, ops=600),
+    "olap-scan": lambda: scan_trace(0, 1_500, repeats=2),
+    "htap-scalar": lambda: mixed_htap_trace(
+        oltp_pages=600, olap_pages=800, oltp_ops=3_000, seed=3),
+    "htap-blocks": lambda: mixed_htap_blocks(
+        oltp_pages=600, olap_pages=800, oltp_ops=3_000, seed=3),
+}
+
+
+class TestSingleSessionIdentity:
+    """A one-session run is byte-identical to ScaleUpEngine.run."""
+
+    @pytest.mark.parametrize("fast", [True, False],
+                             ids=["fast-lane", "compat-lane"])
+    @pytest.mark.parametrize("kind", ["oltp-points", "olap-scan"])
+    def test_static_pinning(self, kind, fast):
+        baseline = cxl_engine(fast=fast)
+        sessions = cxl_engine(fast=fast)
+        ref = baseline.run(TRACES[kind]())
+        rep = sessions.run_sessions([TRACES[kind]()])
+        assert sessions_digest(sessions, rep) == \
+            run_digest(baseline, ref)
+
+    @pytest.mark.parametrize("fast", [True, False],
+                             ids=["fast-lane", "compat-lane"])
+    @pytest.mark.parametrize("kind", ["htap-scalar", "htap-blocks"])
+    def test_with_faults_and_migrations(self, kind, fast):
+        baseline = htap_engine(fast=fast)
+        sessions = htap_engine(fast=fast)
+        ref = baseline.run(TRACES[kind]())
+        rep = sessions.run_sessions([TRACES[kind]()])
+        assert ref.misses > 0  # the trace must exercise the fault path
+        assert sessions_digest(sessions, rep) == \
+            run_digest(baseline, ref)
+
+    def test_identity_at_any_morsel_quantum(self):
+        baseline = cxl_engine()
+        ref_digest = run_digest(baseline, baseline.run(TRACES["olap-scan"]()))
+        for quantum in (1, 7, 256):
+            engine = cxl_engine()
+            rep = engine.run_sessions([TRACES["olap-scan"]()],
+                                      morsel_ops=quantum)
+            assert sessions_digest(engine, rep) == ref_digest
+
+
+def mixed_session_set():
+    return [
+        ClientSession("point-a", point_trace(1, ops=300)),
+        ClientSession("point-b", point_trace(2, ops=300)),
+        ClientSession("scan-a", readahead_scan(1_000, 800, repeats=2)),
+        ClientSession("scan-b", readahead_scan(1_000, 800, repeats=2)),
+    ]
+
+
+def report_digest(report):
+    parts = [repr(report.makespan_ns), report.policy]
+    for name in sorted(report.sessions):
+        s = report.sessions[name]
+        parts.append((
+            name, s.ops, repr(s.demand_ns), repr(s.think_ns),
+            repr(s.wait_ns), repr(s.end_ns), s.misses, s.migrations,
+            s.quanta, tuple(s.samples),
+        ))
+    return tuple(parts)
+
+
+class TestDeterminism:
+    def test_session_permutation_invariance(self):
+        def run(order):
+            engine = cxl_engine(pages=4_000)
+            sessions = mixed_session_set()
+            return report_digest(
+                engine.run_sessions([sessions[i] for i in order]))
+
+        first = run([0, 1, 2, 3])
+        assert run([3, 1, 0, 2]) == first
+        assert run([2, 3, 1, 0]) == first
+
+    def test_lanes_equivalent_under_contention(self):
+        def run(fast):
+            engine = cxl_engine(pages=4_000, fast=fast)
+            report = engine.run_sessions(mixed_session_set())
+            assert report.wait_ns > 0  # contention must be live
+            return report_digest(report) + pool_digest(engine)
+
+        assert run(True) == run(False)
+
+    def test_repeat_runs_identical(self):
+        def run():
+            engine = cxl_engine(pages=4_000)
+            return report_digest(engine.run_sessions(mixed_session_set()))
+
+        assert run() == run()
+
+
+class TestWaitQueue:
+    def test_equal_timestamp_fifo(self):
+        """Two arrivals at the same instant serialize in grant order:
+        the second waits exactly one service time behind the first."""
+        queue = WaitQueue("link", read_bandwidth=64 * 2 ** 30)
+        nbytes = 1 << 20
+        service = queue.read_table.time_ns(nbytes)
+
+        assert queue.delay_ns(0.0) == 0.0
+        queue.occupy_run(0.0, nbytes)
+        first_free = queue.free_at_ns
+        assert first_free == service
+
+        # Same-timestamp second arrival queues behind the first.
+        wait = queue.delay_ns(0.0)
+        assert wait == service
+        queue.occupy_run(0.0 + wait, nbytes)
+        assert queue.free_at_ns == 2 * service
+        assert queue.snapshot()["grants"] == 2
+
+    def test_late_arrival_no_residual_wait(self):
+        queue = WaitQueue("link", read_bandwidth=64 * 2 ** 30)
+        queue.occupy_run(0.0, 1 << 20)
+        assert queue.delay_ns(queue.free_at_ns + 1.0) == 0.0
+
+    def test_run_occupancy_accounts_all_members(self):
+        queue = WaitQueue("dev", read_bandwidth=64 * 2 ** 30)
+        queue.occupy_run(0.0, 4096, count=8)
+        snap = queue.snapshot()
+        assert snap["grants"] == 8
+        assert snap["bytes"] == 8 * 4096
+        # free_at reflects the *last* member only; the run's earlier
+        # members completed inside the caller's accumulated latency.
+        assert queue.free_at_ns == queue.read_table.time_ns(4096)
+
+
+class TestContention:
+    def test_p95_monotonic_in_session_count(self):
+        """Bandwidth-bound scan mix: point-lookup tail latency grows
+        monotonically with the number of contending scan sessions."""
+        def p95_with_scans(num_scans):
+            engine = cxl_engine(pages=8_000, warm=7_000)
+            points = [ClientSession(f"pt-{i}", point_trace(i, pages=1_000))
+                      for i in range(2)]
+            scans = [ClientSession(
+                f"scan-{i}",
+                readahead_scan(1_000 + i * 1_500, 1_500, repeats=3))
+                for i in range(num_scans)]
+            report = engine.run_sessions(points + scans)
+            return report.p95_for(["pt-0", "pt-1"])
+
+        curve = [p95_with_scans(n) for n in (0, 1, 2, 4)]
+        assert curve == sorted(curve)
+        assert curve[-1] > 1.3 * curve[0]
+
+    def test_wait_attributed_to_sessions(self):
+        engine = cxl_engine(pages=4_000)
+        report = engine.run_sessions(mixed_session_set())
+        assert report.wait_ns > 0
+        assert report.wait_ns == pytest.approx(
+            sum(s.wait_ns for s in report.sessions.values()))
+        assert report.makespan_ns > 0
+        assert report.throughput_ops_per_s > 0
+
+
+class TestFairnessPolicies:
+    def test_round_robin_deterministic(self):
+        def run():
+            engine = cxl_engine(pages=4_000)
+            return report_digest(engine.run_sessions(
+                mixed_session_set(), policy=RoundRobinPolicy()))
+
+        first = run()
+        assert first == run()
+        assert first[1] == "round_robin"
+
+    def test_weighted_share_follows_weight(self):
+        """Under stride scheduling a weight-4 session finishes the
+        same work sooner than its weight-1 twin."""
+        engine = cxl_engine(pages=4_000)
+        trace = lambda: readahead_scan(0, 1_500, repeats=4)
+        report = engine.run_sessions(
+            [ClientSession("heavy", trace(), weight=4.0),
+             ClientSession("light", trace(), weight=1.0)],
+            policy=WeightedPolicy(), morsel_ops=8)
+        heavy = report.session("heavy")
+        light = report.session("light")
+        assert heavy.ops == light.ops
+        assert heavy.end_ns < light.end_ns
+
+    def test_weighted_permutation_invariant(self):
+        def run(flip):
+            engine = cxl_engine(pages=4_000)
+            pair = [ClientSession("a", point_trace(1), weight=3.0),
+                    ClientSession("b", point_trace(2), weight=1.0)]
+            if flip:
+                pair.reverse()
+            return report_digest(engine.run_sessions(
+                pair, policy=WeightedPolicy()))
+
+        assert run(False) == run(True)
+
+
+class TestSessionApi:
+    def test_raw_traces_get_positional_names(self):
+        engine = cxl_engine()
+        report = engine.run_sessions(
+            [point_trace(0, ops=50), point_trace(1, ops=50)])
+        assert sorted(report.sessions) == ["s00", "s01"]
+        assert report.num_sessions == 2
+        assert report.ops == 100
+
+    def test_empty_session_set_rejected(self):
+        engine = cxl_engine()
+        with pytest.raises(ConfigError):
+            engine.run_sessions([])
+
+    def test_duplicate_names_rejected(self):
+        engine = cxl_engine()
+        with pytest.raises(ConfigError):
+            engine.run_sessions([
+                ClientSession("dup", point_trace(0, ops=10)),
+                ClientSession("dup", point_trace(1, ops=10)),
+            ])
+
+    def test_bad_session_params_rejected(self):
+        with pytest.raises(ConfigError):
+            ClientSession("", point_trace(0, ops=10))
+        with pytest.raises(ConfigError):
+            ClientSession("s", point_trace(0, ops=10), weight=0.0)
+        engine = cxl_engine()
+        with pytest.raises(ConfigError):
+            ConcurrentEngine(engine.pool, morsel_ops=0)
+
+    def test_foreign_context_rejected(self):
+        engine = cxl_engine()
+        with pytest.raises(ConfigError):
+            ConcurrentEngine(engine.pool, ctx=SimContext())
+
+    def test_unknown_session_name_rejected(self):
+        engine = cxl_engine()
+        report = engine.run_sessions([point_trace(0, ops=20)])
+        with pytest.raises(ConfigError):
+            report.session("nope")
+
+    def test_morsel_hook_fires_per_quantum(self):
+        calls = []
+        engine = cxl_engine()
+        executor = ConcurrentEngine(
+            engine.pool, morsel_ops=16,
+            on_morsel=lambda name, morsel: calls.append((name, morsel)))
+        report = executor.run([ClientSession("q", point_trace(0, ops=64))])
+        assert len(calls) == report.session("q").quanta
+        assert all(name == "q" for name, _ in calls)
+        assert all(m.service_ns > 0 for _, m in calls)
+
+    def test_session_run_metrics_emitted(self):
+        engine = cxl_engine()
+        engine.run_sessions([point_trace(0, ops=20)])
+        metrics = engine.pool.ctx.metrics
+        assert metrics.get("engine.session_runs") == 1
+        assert metrics.get("engine.sessions") == 1
+
+    def test_compat_lane_counts_runs(self):
+        engine = cxl_engine()
+        engine.run_concurrent([point_trace(0, ops=50)])
+        assert engine.pool.ctx.metrics.get(
+            "engine.concurrent_compat_runs") == 1
