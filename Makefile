@@ -20,20 +20,25 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # The gated scenario sweeps (mirrors the CI sweep job): E1/E2/E4/E7
-# plus the A7 interference grid fan out across workers, results land
-# in results/sweeps/, and each sweep's baseline shape invariants must
-# hold.
+# plus the A7 interference grid and the A8 Pond-at-scale serving grid
+# fan out across workers, results land in results/sweeps/, and each
+# sweep's baseline shape invariants must hold.
 sweep:
 	$(PYTHON) -m repro sweep specs/e1_paths.json specs/e2_tiering.json \
 		specs/e4_transfer_ladder.json specs/e7_distribution.json \
-		specs/a7_interference.json \
+		specs/a7_interference.json specs/a8_pondscale.json \
 		--jobs 4 --gate
 
 # Wall-clock microbenchmarks of the simulator fast lane, gated against
-# results/bench/BENCH_PR6.json (lane equivalence, digest identity,
+# results/bench/BENCH_PR7.json (lane equivalence, digest identity,
 # speedup floors). See docs/performance.md.
 perfbench:
 	$(PYTHON) -m repro perfbench --check
+
+# Perf trajectory across committed baselines (results/bench/BENCH_PR*):
+# per-bench speedup table with regressions listed before wins.
+perfbench-history:
+	$(PYTHON) -m repro perfbench --history
 
 trace-demo:
 	$(PYTHON) examples/quickstart.py --trace-out quickstart.trace.json

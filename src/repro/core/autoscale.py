@@ -240,6 +240,83 @@ class Autoscaler:
         return waiting / (len(live) * service_scale)
 
 
+class ExpanderScaler:
+    """Capacity autoscaling pushed down to the memory pool itself.
+
+    :class:`Autoscaler` scales *engines* over a job queue; the serving
+    subsystem needs the same elasticity one level lower — whole CXL
+    expanders attached to or retired from a tenant page pool as churn
+    moves demand. The policy mirrors the engine autoscaler's knobs:
+    grow when admission backlog builds (queued pages waiting for
+    capacity), shrink when the pool would still be comfortably
+    under-occupied with one less expander, and rate-limit both with a
+    cooldown so a single burst does not thrash the fabric.
+    """
+
+    def __init__(self, pages_per_expander: int,
+                 min_expanders: int = 1, max_expanders: int = 4,
+                 scale_up_queued_pages: int = 1,
+                 scale_down_occupancy: float = 0.5,
+                 cooldown_ns: float = ms(1.0)) -> None:
+        if pages_per_expander <= 0:
+            raise ConfigError("pages_per_expander must be positive")
+        if not 1 <= min_expanders <= max_expanders:
+            raise ConfigError("need 1 <= min_expanders <= max_expanders")
+        if scale_up_queued_pages <= 0:
+            raise ConfigError("scale_up_queued_pages must be positive")
+        if not 0.0 < scale_down_occupancy < 1.0:
+            raise ConfigError("scale_down_occupancy must be in (0, 1)")
+        self.pages_per_expander = pages_per_expander
+        self.min_expanders = min_expanders
+        self.max_expanders = max_expanders
+        self.scale_up_queued_pages = scale_up_queued_pages
+        self.scale_down_occupancy = scale_down_occupancy
+        self.cooldown_ns = cooldown_ns
+        self.expanders = min_expanders
+        self.grows = 0
+        self.shrinks = 0
+        self._last_change_ns = -float("inf")
+
+    @property
+    def capacity_pages(self) -> int:
+        """Pool capacity at the current expander count."""
+        return self.expanders * self.pages_per_expander
+
+    def decide(self, now_ns: float, queued_pages: int,
+               leased_pages: int) -> int:
+        """Return the expander count to run with from *now* on.
+
+        ``queued_pages`` is the admission backlog (pages wanted by
+        tenants waiting to be admitted); ``leased_pages`` the pages
+        currently held. At most one expander changes per call, and only
+        after ``cooldown_ns`` since the previous change.
+        """
+        if now_ns - self._last_change_ns < self.cooldown_ns:
+            return self.expanders
+        if (queued_pages >= self.scale_up_queued_pages
+                and self.expanders < self.max_expanders):
+            self.expanders += 1
+            self.grows += 1
+            self._last_change_ns = now_ns
+        elif (queued_pages == 0
+              and self.expanders > self.min_expanders
+              and leased_pages <= self.scale_down_occupancy
+              * (self.expanders - 1) * self.pages_per_expander):
+            self.expanders -= 1
+            self.shrinks += 1
+            self._last_change_ns = now_ns
+        return self.expanders
+
+    def snapshot(self) -> dict:
+        """Scaler accounting (metrics snapshot protocol)."""
+        return {
+            "expanders": self.expanders,
+            "capacity_pages": self.capacity_pages,
+            "grows": self.grows,
+            "shrinks": self.shrinks,
+        }
+
+
 def bursty_jobs(duration_ms: float = 200.0, base_rate_per_ms: float = 2.0,
                 burst_rate_per_ms: float = 20.0,
                 burst_start_frac: float = 0.4,

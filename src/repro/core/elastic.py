@@ -192,6 +192,104 @@ class DemandSeries:
 
 
 # ---------------------------------------------------------------------------
+# Page-granular pooling for tenant churn.
+# ---------------------------------------------------------------------------
+
+class PagePool:
+    """An O(1) page-lease ledger over pooled CXL capacity.
+
+    :class:`ElasticCluster` carves byte ranges through the pool
+    device's first-fit allocator — right for a handful of engines,
+    quadratic for a million churning tenants. A serving run only needs
+    *accounting*: who holds how many pages, how full the pool is, and
+    that double releases fail loudly. ``PagePool`` keeps exactly that,
+    with constant-time lease/release and an elastic :meth:`resize` so
+    an autoscaler can add or retire whole expanders mid-run.
+    """
+
+    def __init__(self, capacity_pages: int, name: str = "tenant-pool",
+                 page_size: int = PAGE_SIZE,
+                 ctx: SimContext | None = None) -> None:
+        if capacity_pages <= 0:
+            raise PoolingError("pool capacity must be positive")
+        self.capacity_pages = capacity_pages
+        self.page_size = page_size
+        self.name = name
+        self._leases: dict[object, int] = {}
+        self.leased_pages = 0
+        self.peak_leased_pages = 0
+        self.total_leases = 0
+        self.total_releases = 0
+        self.ctx = ctx
+        if ctx is not None:
+            ctx.register(f"pool.{name}", self)
+
+    @property
+    def free_pages(self) -> int:
+        """Unleased pool pages."""
+        return self.capacity_pages - self.leased_pages
+
+    @property
+    def occupancy(self) -> float:
+        """Leased fraction of the pool, in [0, 1]."""
+        return self.leased_pages / self.capacity_pages
+
+    def holds(self, owner: object) -> bool:
+        """Whether *owner* currently holds a lease."""
+        return owner in self._leases
+
+    def lease(self, owner: object, pages: int) -> bool:
+        """Lease *pages* to *owner*; False when the pool is too full.
+
+        An owner holds at most one lease at a time — leasing twice is
+        an accounting bug, not a capacity miss, and raises.
+        """
+        if pages <= 0:
+            raise PoolingError("lease size must be positive")
+        if owner in self._leases:
+            raise PoolingError(f"{owner!r} already holds a lease")
+        if pages > self.free_pages:
+            return False
+        self._leases[owner] = pages
+        self.leased_pages += pages
+        self.peak_leased_pages = max(self.peak_leased_pages,
+                                     self.leased_pages)
+        self.total_leases += 1
+        return True
+
+    def release(self, owner: object) -> int:
+        """Return *owner*'s pages to the pool; raises on double release."""
+        pages = self._leases.pop(owner, None)
+        if pages is None:
+            raise PoolingError(f"{owner!r} holds no lease")
+        self.leased_pages -= pages
+        self.total_releases += 1
+        return pages
+
+    def resize(self, capacity_pages: int) -> None:
+        """Grow or shrink the pool (expander attach/detach); cannot
+        shrink below what is currently leased."""
+        if capacity_pages < self.leased_pages:
+            raise PoolingError(
+                f"cannot shrink pool to {capacity_pages} pages below"
+                f" {self.leased_pages} leased"
+            )
+        self.capacity_pages = capacity_pages
+
+    def snapshot(self) -> dict:
+        """Pool accounting (metrics snapshot protocol)."""
+        return {
+            "capacity_pages": self.capacity_pages,
+            "leased_pages": self.leased_pages,
+            "peak_leased_pages": self.peak_leased_pages,
+            "leases": len(self._leases),
+            "total_leases": self.total_leases,
+            "total_releases": self.total_releases,
+            "occupancy": self.occupancy,
+        }
+
+
+# ---------------------------------------------------------------------------
 # Claims 2 and 3: warm spawn and cheap migration.
 # ---------------------------------------------------------------------------
 

@@ -365,6 +365,89 @@ def a7_interference(scenario: Scenario, ctx: SimContext) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# A8 — Pond's population at production scale (Sec 2.5, ref [31]).
+# ---------------------------------------------------------------------------
+
+@runner("a8.pondscale")
+def a8_pondscale(scenario: Scenario, ctx: SimContext) -> dict:
+    """E3 at serving scale: 10^4–10^6 churning tenants per cell.
+
+    Generates a columnar tenant population
+    (:class:`~repro.serving.TenantTable`), plays Poisson arrival /
+    exponential-lifetime churn against an elastically scaled CXL page
+    pool through the discrete-event simulator, then folds every
+    tenant's slowdown versus an all-DRAM run into exact mergeable
+    histograms for two alternatives: pooled CXL and a scale-out
+    partition where ``workload.remote_fraction`` of accesses cross an
+    RDMA NIC. The gate asserts the Pond CDF shape (compute-bound
+    tenants see <1% penalty, the memory-bound tail exists), the
+    scale-out/CXL crossover along ``remote_fraction``, and that
+    ``policy.shards`` never changes a byte.
+    """
+    from ..core.autoscale import ExpanderScaler
+    from ..core.elastic import PagePool
+    from ..serving import (
+        ChurnConfig,
+        ChurnSimulator,
+        ServingConfig,
+        TenantTable,
+        assign_churn,
+        run_serving,
+    )
+    from ..units import SECOND, us
+
+    topo, wl, pol = scenario.topology, scenario.workload, scenario.policy
+    tenants = int(_param(wl, "tenants", 10_000))
+    table = TenantTable.generate(
+        tenants, num_ops=int(_param(wl, "num_ops", 2_000)),
+        seed=scenario.seed)
+
+    assign_churn(table, ChurnConfig(
+        arrival_rate_per_s=float(_param(wl, "arrival_rate_per_s", 2_000.0)),
+        mean_lifetime_s=float(_param(wl, "mean_lifetime_s", 0.5)),
+        seed=scenario.seed + 1,
+    ))
+    scaler = ExpanderScaler(
+        pages_per_expander=int(_param(topo, "pages_per_expander",
+                                      4_194_304)),
+        min_expanders=int(_param(topo, "min_expanders", 1)),
+        max_expanders=int(_param(topo, "max_expanders", 4)),
+        cooldown_ns=float(_param(topo, "cooldown_ms", 50.0)) * 1e6,
+    )
+    pool = PagePool(scaler.capacity_pages, ctx=ctx)
+    churn = ChurnSimulator(
+        table, pool, scaler=scaler,
+        reclaim_ns=us(float(_param(pol, "reclaim_us", 200.0))),
+    ).run()
+
+    serving = run_serving(table, ServingConfig(
+        shards=int(_param(pol, "shards", 1)),
+        chunk_rows=int(_param(pol, "chunk_rows", 65_536)),
+        rep_ops=int(_param(pol, "rep_ops", 2_000)),
+        remote_fraction=float(_param(wl, "remote_fraction", 0.25)),
+        through_switch=bool(topo.get("through_switch", False)),
+        seed=scenario.seed,
+    ))
+
+    result = serving.metrics()
+    result["churn"] = {
+        "admitted": churn.admitted,
+        "departed": churn.departed,
+        "waited": churn.waited,
+        "rejected": churn.rejected,
+        "peak_queue": churn.peak_queue,
+        "peak_leased_pages": churn.peak_leased_pages,
+        "final_capacity_pages": churn.final_capacity_pages,
+        "grows": churn.grows,
+        "shrinks": churn.shrinks,
+        "wait_p50_ns": churn.wait_quantile(0.50),
+        "wait_p95_ns": churn.wait_quantile(0.95),
+        "horizon_s": churn.horizon_ns / SECOND,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
 # debug.* — executor-facing kernels used by the harness's own tests.
 # ---------------------------------------------------------------------------
 

@@ -15,6 +15,10 @@ and requires both to produce **byte-identical results**:
   *generation*: the columnar block emitters (``fast``) against the
   scalar per-``Access`` generators (``compat``). The digest covers the
   elementwise content of the generated trace.
+* The tenant-population bench (``tenant-gen``) times serving-scale
+  population generation: the columnar SoA draw into a ``TenantTable``
+  (``fast``) against object-per-tenant materialisation (``compat``).
+  The digest covers the raw bytes of every tenant attribute column.
 
 Traces for engine benches are materialised before the timed region so
 the measurement captures the simulator hot path, not the generator.
@@ -39,6 +43,8 @@ from ..workloads.scans import (
     mixed_htap_trace,
     scan_trace,
 )
+from ..serving.tenants import TenantTable
+from ..workloads.cloudmix import generate_population
 from ..workloads.traces import Access, AccessBlock
 from ..workloads.ycsb import YCSBConfig, ycsb_blocks, ycsb_trace
 
@@ -390,6 +396,41 @@ def _trace_gen_runner(fast: bool, scale: float) -> tuple[float, str]:
     return wall_s, digest
 
 
+def _digest_table(table: TenantTable) -> str:
+    """A content digest over every tenant attribute column.
+
+    Raw little-endian column bytes, so both lanes must agree on every
+    bit of every attribute of every tenant.
+    """
+    digest = hashlib.sha256()
+    for name, column in table.columns().items():
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(column).tobytes())
+    return digest.hexdigest()
+
+
+def _tenant_gen_runner(fast: bool, scale: float) -> tuple[float, str]:
+    """Time tenant *population* generation: columnar vs object-per-tenant.
+
+    ``fast`` draws every attribute column-major straight into the SoA
+    ``TenantTable``; ``compat`` materialises one ``CloudWorkload``
+    object per tenant the way the pre-serving generator did (packing
+    the objects back into columns happens outside the timed region).
+    The digest covers the raw bytes of every column.
+    """
+    count = max(1_000, int(100_000 * scale))
+    if fast:
+        start = time.perf_counter()
+        table = TenantTable.generate(count=count, num_ops=2_000, seed=7)
+        wall_s = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        workloads = generate_population(count=count, num_ops=2_000, seed=7)
+        wall_s = time.perf_counter() - start
+        table = TenantTable.from_workloads(workloads)
+    return wall_s, _digest_table(table)
+
+
 MICROBENCHES: dict[str, BenchSpec] = {
     "scan": BenchSpec(
         name="scan",
@@ -430,6 +471,13 @@ MICROBENCHES: dict[str, BenchSpec] = {
                     " scalar per-Access generators",
         min_speedup=3.0,
         runner=_trace_gen_runner,
+    ),
+    "tenant-gen": BenchSpec(
+        name="tenant-gen",
+        description="tenant population generation: columnar SoA draw"
+                    " vs object-per-tenant materialisation",
+        min_speedup=10.0,
+        runner=_tenant_gen_runner,
     ),
 }
 

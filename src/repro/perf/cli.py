@@ -3,9 +3,10 @@
 Examples::
 
     repro perfbench                      # run + print the table
-    repro perfbench --out results/bench/BENCH_PR3.json
+    repro perfbench --out results/bench/BENCH_PR7.json
     repro perfbench --check              # gate against the committed baseline
     repro perfbench --benches scan,oltp --repeats 5
+    repro perfbench --history            # speedup trajectory across BENCH_PR*
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import sys
 
 from ..errors import ReproError
 from .bench import MICROBENCHES
+from .history import BENCH_DIR, collect_history, format_history
 from .runner import (
     BENCH_BASELINE_PATH,
     DEFAULT_TOLERANCE,
@@ -69,6 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-repetition progress lines",
     )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="print the speedup trajectory across committed"
+             f" {BENCH_DIR}/BENCH_PR*.json baselines (regressions"
+             " listed before wins) instead of running benches",
+    )
+    parser.add_argument(
+        "--bench-dir", metavar="DIR", default=str(BENCH_DIR),
+        help="baseline directory for --history",
+    )
     return parser
 
 
@@ -94,6 +106,14 @@ def _print_table(report: dict, stream) -> None:
 def perfbench_main(argv: list[str]) -> int:
     """Entry point for ``repro perfbench``; returns an exit code."""
     args = _build_parser().parse_args(argv)
+    if args.history:
+        try:
+            history = collect_history(args.bench_dir)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_history(history))
+        return 0
     benches = None
     if args.benches:
         benches = [name.strip() for name in args.benches.split(",")

@@ -1,0 +1,187 @@
+"""Perf trajectory across committed baselines (``BENCH_PR*.json``).
+
+``repro perfbench --history`` reads every ``results/bench/BENCH_PR*.json``
+in PR order and prints, per microbenchmark, how the fast/compat speedup
+ratio moved from baseline to baseline. The ratio is in-process and
+machine-independent, so baselines recorded on different machines are
+comparable — unlike the raw wall-clock numbers, which the table omits.
+
+The summary lists regressions (a bench slower in the newest baseline
+that records it than in the previous one) *before* wins, so a drop is
+the first thing a reader sees.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigError
+from .runner import SCHEMA
+
+BENCH_DIR = Path("results/bench")
+_BASELINE_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+@dataclass(frozen=True, slots=True)
+class BenchTrend:
+    """One microbenchmark's speedup across the baselines that record it."""
+
+    name: str
+    # (pr_number, speedup) in PR order, only PRs that ran this bench.
+    points: tuple[tuple[int, float], ...]
+
+    @property
+    def latest(self) -> float:
+        return self.points[-1][1]
+
+    @property
+    def delta(self) -> float | None:
+        """Change from the previous baseline that recorded this bench."""
+        if len(self.points) < 2:
+            return None
+        return self.points[-1][1] - self.points[-2][1]
+
+    @property
+    def regressed(self) -> bool:
+        delta = self.delta
+        return delta is not None and delta < 0
+
+
+@dataclass(frozen=True, slots=True)
+class PerfHistory:
+    """All committed baselines, parsed into per-bench trajectories."""
+
+    pr_numbers: tuple[int, ...]
+    trends: tuple[BenchTrend, ...]
+    skipped: tuple[str, ...] = field(default=())
+
+    @property
+    def regressions(self) -> tuple[BenchTrend, ...]:
+        return tuple(t for t in self.trends if t.regressed)
+
+    @property
+    def wins(self) -> tuple[BenchTrend, ...]:
+        return tuple(t for t in self.trends if not t.regressed)
+
+
+def collect_history(bench_dir: Path | str = BENCH_DIR) -> PerfHistory:
+    """Parse every ``BENCH_PR<n>.json`` under *bench_dir* in PR order.
+
+    Files that fail to parse or carry an unexpected schema are skipped
+    and reported in ``PerfHistory.skipped`` rather than aborting the
+    whole trajectory.
+    """
+    root = Path(bench_dir)
+    if not root.is_dir():
+        raise ConfigError(f"no perfbench baseline directory at {root}")
+    numbered: list[tuple[int, Path]] = []
+    for path in root.iterdir():
+        match = _BASELINE_RE.match(path.name)
+        if match:
+            numbered.append((int(match.group(1)), path))
+    if not numbered:
+        raise ConfigError(
+            f"no BENCH_PR*.json baselines under {root};"
+            " run `repro perfbench --out` to record one"
+        )
+    numbered.sort()
+
+    skipped: list[str] = []
+    reports: list[tuple[int, dict]] = []
+    for number, path in numbered:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            skipped.append(f"{path.name}: unreadable ({exc})")
+            continue
+        if data.get("schema") != SCHEMA:
+            skipped.append(
+                f"{path.name}: schema {data.get('schema')!r}"
+                f" != {SCHEMA!r}"
+            )
+            continue
+        reports.append((number, data))
+    if not reports:
+        raise ConfigError(
+            f"no readable perfbench baselines under {root}"
+            f" ({'; '.join(skipped)})"
+        )
+
+    names: list[str] = []
+    for _, data in reports:
+        for name in sorted(data.get("benches", {})):
+            if name not in names:
+                names.append(name)
+    trends = []
+    for name in names:
+        points = tuple(
+            (number, float(entry["speedup"]))
+            for number, data in reports
+            for entry in [data.get("benches", {}).get(name)]
+            if entry is not None and "speedup" in entry
+        )
+        if points:
+            trends.append(BenchTrend(name=name, points=points))
+    return PerfHistory(
+        pr_numbers=tuple(number for number, _ in reports),
+        trends=tuple(trends),
+        skipped=tuple(skipped),
+    )
+
+
+def format_history(history: PerfHistory) -> str:
+    """Render the trajectory as a text table plus a regressions-first
+    summary."""
+    columns = ["bench"] + [f"PR{n}" for n in history.pr_numbers] + ["delta"]
+    rows = [columns]
+    # Regressions first in the table too, then the rest in name order.
+    ordered = sorted(
+        history.trends, key=lambda t: (not t.regressed, t.name)
+    )
+    for trend in ordered:
+        by_pr = dict(trend.points)
+        delta = trend.delta
+        if delta is None:
+            delta_cell = "new"
+        else:
+            delta_cell = f"{delta:+.2f}x"
+        rows.append(
+            [trend.name]
+            + [
+                f"{by_pr[n]:.2f}x" if n in by_pr else "-"
+                for n in history.pr_numbers
+            ]
+            + [delta_cell]
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(columns))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+
+    lines.append("")
+    if history.regressions:
+        lines.append("regressions (vs previous baseline):")
+        for trend in history.regressions:
+            prev_pr, prev = trend.points[-2]
+            last_pr, last = trend.points[-1]
+            lines.append(
+                f"  {trend.name}: {prev:.2f}x (PR{prev_pr})"
+                f" -> {last:.2f}x (PR{last_pr})"
+            )
+    else:
+        lines.append("regressions: none")
+    lines.append("wins / steady:")
+    for trend in history.wins:
+        delta = trend.delta
+        note = "new" if delta is None else f"{delta:+.2f}x"
+        lines.append(f"  {trend.name}: {trend.latest:.2f}x ({note})")
+    for note in history.skipped:
+        lines.append(f"skipped: {note}")
+    return "\n".join(lines)

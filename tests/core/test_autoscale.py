@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.autoscale import Autoscaler, QueryJob, bursty_jobs
+from repro.core.autoscale import (
+    Autoscaler,
+    ExpanderScaler,
+    QueryJob,
+    bursty_jobs,
+)
 from repro.errors import ConfigError
 from repro.units import ms, us
 
@@ -132,3 +137,67 @@ class TestBurstyJobs:
     def test_sorted_arrivals(self):
         arrivals = [j.arrival_ns for j in bursty_jobs()]
         assert arrivals == sorted(arrivals)
+
+
+class TestExpanderScaler:
+    def _scaler(self, **kwargs):
+        defaults = dict(pages_per_expander=100, min_expanders=1,
+                        max_expanders=3, cooldown_ns=us(1.0))
+        defaults.update(kwargs)
+        return ExpanderScaler(**defaults)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            ExpanderScaler(pages_per_expander=0)
+        with pytest.raises(ConfigError):
+            ExpanderScaler(pages_per_expander=10, min_expanders=3,
+                           max_expanders=2)
+        with pytest.raises(ConfigError):
+            ExpanderScaler(pages_per_expander=10,
+                           scale_down_occupancy=1.5)
+
+    def test_backlog_grows_one_expander_at_a_time(self):
+        scaler = self._scaler()
+        assert scaler.capacity_pages == 100
+        assert scaler.decide(us(2.0), queued_pages=50,
+                             leased_pages=100) == 2
+        # Still backlogged, but inside the cooldown: no change.
+        assert scaler.decide(us(2.5), queued_pages=50,
+                             leased_pages=100) == 2
+        assert scaler.decide(us(4.0), queued_pages=50,
+                             leased_pages=150) == 3
+        # At max_expanders, backlog can no longer grow the pool.
+        assert scaler.decide(us(6.0), queued_pages=50,
+                             leased_pages=250) == 3
+        assert scaler.grows == 2
+        assert scaler.capacity_pages == 300
+
+    def test_idle_pool_shrinks_to_min(self):
+        scaler = self._scaler(min_expanders=1, max_expanders=3)
+        scaler.decide(us(2.0), queued_pages=10, leased_pages=90)
+        scaler.decide(us(4.0), queued_pages=10, leased_pages=190)
+        assert scaler.expanders == 3
+        # Demand drains: shrink only while the smaller pool would stay
+        # comfortably under-occupied, one expander per cooldown.
+        assert scaler.decide(us(6.0), queued_pages=0,
+                             leased_pages=40) == 2
+        assert scaler.decide(us(8.0), queued_pages=0,
+                             leased_pages=40) == 1
+        assert scaler.decide(us(10.0), queued_pages=0,
+                             leased_pages=40) == 1  # at min_expanders
+        assert scaler.shrinks == 2
+
+    def test_no_shrink_while_occupied_or_backlogged(self):
+        scaler = self._scaler()
+        scaler.decide(us(2.0), queued_pages=10, leased_pages=100)
+        assert scaler.expanders == 2
+        # 80 leased > 0.5 * 100-page smaller pool: keep both expanders.
+        assert scaler.decide(us(4.0), queued_pages=0,
+                             leased_pages=80) == 2
+        # Backlog present (but below the grow threshold): never shrink,
+        # even when under-occupied.
+        scaler = self._scaler(scale_up_queued_pages=100)
+        scaler.decide(us(2.0), queued_pages=200, leased_pages=100)
+        assert scaler.expanders == 2
+        assert scaler.decide(us(4.0), queued_pages=5,
+                             leased_pages=10) == 2

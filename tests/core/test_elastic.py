@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.elastic import ElasticCluster, StrandingModel
+from repro.core.elastic import ElasticCluster, PagePool, StrandingModel
 from repro.errors import PoolingError
 from repro.units import GIB
 from repro.workloads import Access
@@ -131,3 +131,71 @@ class TestMigration:
         pooled = cluster.migration_time_ns(8 * GIB, pooled=True)
         copied = cluster.migration_time_ns(8 * GIB, pooled=False)
         assert copied / pooled > 100
+
+
+class TestPagePool:
+    def test_lease_release_accounting(self):
+        pool = PagePool(capacity_pages=100)
+        assert pool.lease("a", 30)
+        assert pool.lease("b", 50)
+        assert pool.free_pages == 20
+        assert pool.occupancy == 0.8
+        assert pool.holds("a")
+        # A departure returns exactly the pages it held.
+        assert pool.release("a") == 30
+        assert not pool.holds("a")
+        assert pool.free_pages == 50
+        assert pool.leased_pages + pool.free_pages == pool.capacity_pages
+
+    def test_full_pool_refuses_without_raising(self):
+        pool = PagePool(capacity_pages=10)
+        assert pool.lease("a", 8)
+        assert not pool.lease("b", 4)  # capacity miss, not an error
+        assert pool.lease("b", 2)
+
+    def test_double_release_raises(self):
+        pool = PagePool(capacity_pages=10)
+        pool.lease("a", 4)
+        pool.release("a")
+        with pytest.raises(PoolingError):
+            pool.release("a")
+
+    def test_double_lease_raises(self):
+        pool = PagePool(capacity_pages=10)
+        pool.lease("a", 2)
+        with pytest.raises(PoolingError):
+            pool.lease("a", 2)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(PoolingError):
+            PagePool(capacity_pages=0)
+        pool = PagePool(capacity_pages=10)
+        with pytest.raises(PoolingError):
+            pool.lease("a", 0)
+
+    def test_resize_cannot_strand_leases(self):
+        pool = PagePool(capacity_pages=10)
+        pool.lease("a", 8)
+        with pytest.raises(PoolingError):
+            pool.resize(4)
+        pool.resize(20)
+        assert pool.free_pages == 12
+
+    def test_occupancy_consistent_under_churn(self):
+        # Interleaved arrivals and departures: the ledger never drifts
+        # from a recomputed ground truth.
+        pool = PagePool(capacity_pages=1_000)
+        import random
+        rng = random.Random(5)
+        live: dict[int, int] = {}
+        for tenant in range(300):
+            pages = rng.randint(1, 40)
+            if pool.lease(tenant, pages):
+                live[tenant] = pages
+            if live and rng.random() < 0.5:
+                victim = rng.choice(sorted(live))
+                assert pool.release(victim) == live.pop(victim)
+            assert pool.leased_pages == sum(live.values())
+            assert pool.free_pages == pool.capacity_pages - sum(live.values())
+        assert pool.peak_leased_pages <= pool.capacity_pages
+        assert pool.total_leases - pool.total_releases == len(live)

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.workloads.cloudmix import generate_population
+from repro.workloads.cloudmix import (
+    BOUNDEDNESS_CLASSES,
+    class_counts,
+    generate_population,
+)
 from repro.workloads.scans import mixed_htap_trace, scan_trace
 from repro.workloads.traces import Access, interleave, take
 from repro.workloads.ycsb import (
@@ -204,3 +208,25 @@ class TestCloudMix:
     def test_invalid_count(self):
         with pytest.raises(ConfigError):
             generate_population(count=0)
+
+    def test_class_counts_sum_exactly_for_all_small_counts(self):
+        for count in range(1, 401):
+            counts = class_counts(count)
+            assert sum(counts) == count
+            assert all(c >= 0 for c in counts)
+            assert len(counts) == len(BOUNDEDNESS_CLASSES)
+
+    def test_class_counts_largest_remainder_at_158(self):
+        # floors [41, 26, 63, 26] leave two seats; the two largest
+        # fractional remainders (.86 for both 0.17 classes) absorb them.
+        assert class_counts(158) == [41, 27, 63, 27]
+
+    def test_class_counts_track_shares(self):
+        counts = class_counts(10_000)
+        shares = [s for _n, s, _lo, _hi in BOUNDEDNESS_CLASSES]
+        for got, share in zip(counts, shares):
+            assert abs(got - share * 10_000) < 1.0
+
+    def test_invalid_num_ops(self):
+        with pytest.raises(ConfigError):
+            generate_population(count=5, num_ops=0)
