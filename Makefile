@@ -30,13 +30,14 @@ sweep:
 		--jobs 4 --gate
 
 # Wall-clock microbenchmarks of the simulator fast lane, gated against
-# results/bench/BENCH_PR7.json (lane equivalence, digest identity,
+# results/bench/BENCH_PR8.json (lane equivalence, digest identity,
 # speedup floors). See docs/performance.md.
 perfbench:
 	$(PYTHON) -m repro perfbench --check
 
 # Perf trajectory across committed baselines (results/bench/BENCH_PR*):
-# per-bench speedup table with regressions listed before wins.
+# per-bench speedup table with regressions listed before wins, gated
+# against results/bench/TARGETS.json (floors, geomean, ratchet).
 perfbench-history:
 	$(PYTHON) -m repro perfbench --history
 

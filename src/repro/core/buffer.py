@@ -30,6 +30,19 @@ wall-clock cost.
 * :meth:`TieredBufferPool._access_compat` — the frozen pre-table
   reference (per-access spec arithmetic); the perfbench compat lane
   measures against it so speedups are computed in-process.
+* :meth:`TieredBufferPool.access_block` /
+  :meth:`TieredBufferPool.access_run` — the block lane: a whole
+  columnar :class:`~repro.workloads.traces.AccessBlock` (or one
+  ndarray run of uniform shape) is resolved against a dense numpy
+  residency table (``page_id → tier_index``) kept in sync by
+  install/evict/migrate/drop/resize. Hits are partitioned from faults
+  with one gather, per-(tier, shape) latencies come from the
+  precomputed tables, and the clock/demand accumulators advance
+  through exact repeated-addition ladders
+  (:mod:`repro.sim.ladder`) so the written-back floats stay
+  bit-identical to the scalar lane. Faults, table-less tiers,
+  placement triggers, and contended first-of-segment waits drop to
+  the scalar/segment paths exactly as the fast lane does.
 
 Session lane: between :meth:`TieredBufferPool.session_begin` and
 :meth:`TieredBufferPool.session_end` every lane times accesses
@@ -48,16 +61,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+import numpy as np
+
 from ..errors import BufferPoolError, PageFaultError
 from ..sim.bandwidth import WaitQueue
 from ..sim.clock import SimClock
 from ..sim.context import SimContext
 from ..sim.interconnect import AccessPath, PathTiming
+from ..sim.ladder import chain_repeat, chain_values, repeat_add
 from ..storage.file import PageFile
 from ..storage.page import Page, PageId
 from ..units import CACHE_LINE
 from .frame import Frame
-from .replacement import ReplacementPolicy, make_policy
+from .replacement import LRUPolicy, ReplacementPolicy, make_policy
 from .temperature import ExactTracker, TemperatureTracker
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -94,6 +110,29 @@ class Tier:
 #: Below this run length the batched lane falls back to plain scalar
 #: calls: the loop-hoisting setup costs more than it saves.
 MIN_BATCH_RUN = 3
+
+#: Dense residency-table ceiling. Page ids at or above this (or
+#: negative) stay out of the table and always resolve through the
+#: scalar/segment lanes; ids below it are mirrored exactly, so a
+#: non-negative table entry is never stale.
+_RES_MAX_PIDS = 1 << 22
+
+#: Minimum uniform-shape segment length worth the vectorised span
+#: machinery (residency gather + addition ladders); shorter segments
+#: take the lean per-access walk inside :meth:`access_block`.  Every
+#: lean→vector transition flushes the deferred lean window (a tracker
+#: and policy round-trip), so the threshold is set high enough that
+#: point-workload read runs stay lean and only genuine scans vector.
+VEC_SEG = 96
+
+#: Minimum remaining segment length worth a repeated-addition ladder;
+#: below it a plain scalar mini-loop is cheaper than the ladder setup.
+_LADDER_MIN = 32
+
+#: 2**53 — every integer below this is exactly representable in a
+#: float64, so addition chains of whole-nanosecond quantities that stay
+#: under it never round and commute freely (the integer-exact lane).
+_EXACT_LIMIT = 9007199254740992.0
 
 
 @dataclass(slots=True)
@@ -240,6 +279,57 @@ class TieredBufferPool:
         self._session_queues: list[tuple[WaitQueue, ...]] | None = None
         self._wait_queues: list[tuple[WaitQueue, ...]] | None = None
         self._session_wait_ns = 0.0
+        # Block lane state. `_res_tier` is a dense page_id → tier_index
+        # mirror of self._frames (int16, -1 = non-resident), grown on
+        # demand and kept in sync by _install / _evict_to_storage /
+        # _migrate_locked / drop_all, so a whole run is partitioned
+        # into hits and faults with one gather. `_lat_cache` memoizes
+        # per-(nbytes, write, is_scan) hit latencies for every tier at
+        # once; both are derived state, never authoritative.
+        self._res_tier = np.full(0, -1, dtype=np.int16)
+        self._lat_cache: dict[tuple[int, bool, bool],
+                              list[float | None]] = {}
+        self._tierless_mask = np.array(
+            [timing is None for timing in self._tier_timing], dtype=bool
+        )
+        self._any_tierless = bool(self._tierless_mask.any())
+        # Insertion-order residency index: `_ord_ids[:_ord_len]` holds
+        # page ids in self._frames insertion order (the order
+        # resident_in must report), `_ord_tier` their tiers and
+        # `_ord_valid` a tombstone mask for evicted slots; `_ord_slot`
+        # maps pid → slot. Kept in sync by the same three writers as
+        # `_res_tier`, so resident_in is one vectorized mask instead of
+        # a scan over every frame.
+        self._ord_ids = np.empty(1024, dtype=np.int64)
+        self._ord_tier = np.empty(1024, dtype=np.int16)
+        self._ord_valid = np.zeros(1024, dtype=bool)
+        self._ord_len = 0
+        self._ord_slot: dict[PageId, int] = {}
+        # Deferred frame statistics (integer-exact lane): access counts
+        # and final-touch timestamps accumulate in these pid-indexed
+        # arrays and fold into the Frame objects at sync_frame_stats()
+        # — counts sum commutatively and the last-access time is the
+        # max of a monotone clock, so deferral is observation-free.
+        # Dirty latches stay eager (writebacks read them mid-run), and
+        # eviction clears a pid's pending entry because compat
+        # semantics discard a frame's stats with the frame.
+        self._pend_acc = np.zeros(0, dtype=np.int64)
+        self._pend_ts = np.zeros(0, dtype=np.float64)
+        # Conservative pid-indexed mirror of Frame.dirty: True only if
+        # the frame is known dirty, so the block lane latches (and
+        # walks python frames for) each page at most once. False for a
+        # dirty frame is harmless — re-latching is idempotent.
+        self._dirty_mirror = np.zeros(0, dtype=bool)
+        # Per-tier page-sized device read/write times for migrations
+        # (static per path; the stats bumps are replayed inline).
+        self._mig_rw: dict[tuple[int, int], tuple[float, float]] = {}
+        # Same memoization for the fault path: the backing-store read
+        # time (constant per device) and each tier's page install
+        # write / eviction read times. All are pure functions of
+        # immutable specs; only the device stats bumps are replayed.
+        self._back_rd: tuple[object, float, int] | None = None
+        self._inst_wr: dict[int, float] = {}
+        self._evt_rd: dict[int, float] = {}
 
     @staticmethod
     def _path_timing(path: AccessPath) -> PathTiming | None:
@@ -370,11 +460,94 @@ class TieredBufferPool:
         return frame.tier_index if frame else None
 
     def resident_in(self, tier_index: int) -> Iterable[PageId]:
-        """Page ids resident in one tier."""
-        return [
-            pid for pid, frame in self._frames.items()
-            if frame.tier_index == tier_index
-        ]
+        """Page ids resident in one tier, in frame-map insertion order."""
+        return self.resident_ids_in(tier_index).tolist()
+
+    def resident_ids_in(self, tier_index: int) -> np.ndarray:
+        """Like :meth:`resident_in` but as an int64 array, for callers
+        (placement rebalance) that feed the ids straight back into
+        vectorized heat gathers without a list round-trip."""
+        n = self._ord_len
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        mask = self._ord_valid[:n] & (self._ord_tier[:n] == tier_index)
+        return self._ord_ids[:n][mask]
+
+    def _latch_dirty(self, write_ids: np.ndarray) -> None:
+        """Set the dirty flag on just-written frames, walking python
+        objects only for pages not already known dirty (the mirror is
+        conservative: False may mean dirty, True always means dirty)."""
+        mirror = self._dirty_mirror
+        fresh = write_ids[~mirror[write_ids]]
+        if fresh.size:
+            frames = self._frames
+            ids = np.unique(fresh) if fresh.size > 1 else fresh
+            for pid in ids.tolist():
+                frames[pid].dirty = True
+            mirror[ids] = True
+
+    def sync_frame_stats(self) -> None:
+        """Fold deferred block-lane frame stats into the Frame objects.
+
+        The integer-exact block lane batches ``Frame.accesses`` counts
+        and last-access timestamps in pid-indexed arrays instead of
+        touching each frame per access.  Engine runs and snapshots call
+        this before anything reads per-frame statistics; direct pool
+        drivers that inspect frames (tests) should call it too.
+        """
+        pend = self._pend_acc
+        if not pend.size:
+            return
+        ids = np.nonzero(pend)[0]
+        if not ids.size:
+            return
+        frames = self._frames
+        get = frames.get
+        for pid, extra, ts in zip(ids.tolist(), pend[ids].tolist(),
+                                  self._pend_ts[ids].tolist()):
+            frame = get(pid)
+            if frame is not None:
+                frame.accesses += extra
+                if ts > frame.last_access_ns:
+                    frame.last_access_ns = ts
+        pend[ids] = 0
+
+    def _ord_rebuild(self) -> None:
+        """Re-derive the insertion-order index from the frame map
+        (compacts tombstones; doubles capacity when mostly live)."""
+        live = len(self._frames)
+        cap = max(1024, 2 * live)
+        ids = np.empty(cap, dtype=np.int64)
+        tiers_arr = np.empty(cap, dtype=np.int16)
+        slot_map = {}
+        i = 0
+        for pid, frame in self._frames.items():
+            ids[i] = pid
+            tiers_arr[i] = frame.tier_index
+            slot_map[pid] = i
+            i += 1
+        valid = np.zeros(cap, dtype=bool)
+        valid[:i] = True
+        self._ord_ids = ids
+        self._ord_tier = tiers_arr
+        self._ord_valid = valid
+        self._ord_len = i
+        self._ord_slot = slot_map
+
+    def _ord_add(self, page_id: PageId, tier_index: int) -> None:
+        """Append one just-installed page to the insertion-order index.
+
+        Called after ``self._frames[page_id]`` is set, so a rebuild
+        (full array: compact or grow) already includes the new page."""
+        n = self._ord_len
+        if n == self._ord_ids.shape[0]:
+            self._ord_rebuild()
+            return
+        self._ord_ids[n] = page_id
+        self._ord_tier[n] = tier_index
+        self._ord_valid[n] = True
+        self._ord_slot[page_id] = n
+        self._ord_len = n + 1
 
     @property
     def total_capacity_pages(self) -> int:
@@ -384,6 +557,7 @@ class TieredBufferPool:
     def snapshot(self) -> dict:
         """Pool state for a metrics snapshot: the stats counters with
         per-tier entries re-keyed by tier name plus residency."""
+        self.sync_frame_stats()
         snap = self.stats.snapshot()
         for index, tier in enumerate(self.tiers):
             tier_snap = snap.pop(f"tier.{index}", None)
@@ -590,12 +764,26 @@ class TieredBufferPool:
         tracker_batch = self._tracker_batch
         tracker_record = self.tracker.record
         queues = self._session_queues
+        if headroom_fn is None:
+            # No batch support on the placement policy: headroom would
+            # be 0 for every window, so every access routes scalar
+            # anyway. Detect it once and skip the window machinery.
+            advance = clock.advance
+            access = self.access
+            for pid in seq:
+                if think_ns:
+                    advance(think_ns)
+                accum += access(pid, nbytes=nbytes, write=write,
+                                is_scan=is_scan)
+                if post_ns:
+                    advance(post_ns)
+            return accum
         i = 0
         while i < n:
-            headroom = headroom_fn() if headroom_fn is not None else 0
+            headroom = headroom_fn()
             if headroom <= 0:
-                # A placement trigger (or a policy without batch
-                # support): route one access through the scalar path.
+                # A placement trigger: route one access through the
+                # scalar path so it sees fully up-to-date state.
                 if think_ns:
                     clock.advance(think_ns)
                 accum += self.access(seq[i], nbytes=nbytes, write=write,
@@ -753,6 +941,793 @@ class TieredBufferPool:
             for queue in queues[tier_index]:
                 queue.occupy_run(start_last, nbytes, count, write)
 
+    # -- the block lane -------------------------------------------------------
+
+    def _res_grow(self, min_size: int) -> np.ndarray:
+        """Grow the dense residency table to cover ids below *min_size*
+        (power-of-two sizing; the caller keeps ids < _RES_MAX_PIDS)."""
+        arr = self._res_tier
+        size = max(1024, arr.shape[0])
+        while size < min_size:
+            size *= 2
+        new = np.full(size, -1, dtype=np.int16)
+        if arr.shape[0]:
+            new[:arr.shape[0]] = arr
+        self._res_tier = new
+        acc = np.zeros(size, dtype=np.int64)
+        ts = np.zeros(size, dtype=np.float64)
+        old = self._pend_acc.shape[0]
+        if old:
+            acc[:old] = self._pend_acc
+            ts[:old] = self._pend_ts
+        self._pend_acc = acc
+        self._pend_ts = ts
+        dirty = np.zeros(size, dtype=bool)
+        if self._dirty_mirror.shape[0]:
+            dirty[:self._dirty_mirror.shape[0]] = self._dirty_mirror
+        self._dirty_mirror = dirty
+        return new
+
+    def _res_set(self, page_id: PageId, tier_index: int) -> None:
+        """Mirror one residency change into the dense table."""
+        if 0 <= page_id < _RES_MAX_PIDS:
+            arr = self._res_tier
+            if page_id >= arr.shape[0]:
+                arr = self._res_grow(page_id + 1)
+            arr[page_id] = tier_index
+
+    def _shape_latencies(self, nbytes: int, write: bool,
+                         is_scan: bool) -> list[float | None]:
+        """Per-tier hit latency for one access shape, memoized; None
+        for table-less tiers (those accesses always resolve scalar)."""
+        key = (nbytes, write, is_scan)
+        lats = self._lat_cache.get(key)
+        if lats is None:
+            lats = []
+            for timing in self._tier_timing:
+                if timing is None:
+                    lats.append(None)
+                elif write:
+                    lats.append(
+                        (timing.seq_write_latency_ns if is_scan
+                         else timing.write_latency_ns)
+                        + timing.write_transfer.time_ns(nbytes)
+                    )
+                else:
+                    lats.append(
+                        (timing.seq_read_latency_ns if is_scan
+                         else timing.read_latency_ns)
+                        + timing.read_transfer.time_ns(nbytes)
+                    )
+            self._lat_cache[key] = lats
+        return lats
+
+    def _run_span(self, ids: np.ndarray, start: int, stop: int,
+                  nbytes: int, write: bool, is_scan: bool,
+                  think_ns: float, post_ns: float, accum: float) -> float:
+        """Vectorised core for one uniform-shape run of page ids.
+
+        The caller guarantees: fast lane on, a batch-capable placement
+        policy, and every id inside the (already grown) dense residency
+        table. Per headroom window the run is partitioned into hits and
+        boundaries with one gather; hit segments advance the clock and
+        demand accumulators through exact addition ladders
+        (:func:`~repro.sim.ladder.chain_repeat` /
+        :func:`~repro.sim.ladder.repeat_add`), so every written-back
+        float is bit-identical to the scalar loop. Faults, table-less
+        tiers, and placement triggers route scalar exactly as
+        :meth:`access_batch` does; the residency table is re-gathered
+        afterwards, so their side effects (evictions, migrations,
+        rebalances) are observed precisely.
+        """
+        clock = self._session_clock
+        if clock is None:
+            clock = self.clock
+        stats = self.stats
+        frames_get = self._frames.get
+        headroom_fn = self._placement_headroom
+        note = self._placement_note
+        tracker_batch = self._tracker_batch
+        tracker_record = self.tracker.record
+        queues = self._session_queues
+        res = self._res_tier
+        lats = self._shape_latencies(nbytes, write, is_scan)
+        any_tierless = self._any_tierless
+        tierless = self._tierless_mask
+        i = start
+        n = stop
+        while i < n:
+            headroom = headroom_fn()
+            if headroom <= 0:
+                # A placement trigger: one access through the scalar
+                # path, exactly as the batched lane routes it.
+                if think_ns:
+                    clock.advance(think_ns)
+                accum += self.access(int(ids[i]), nbytes=nbytes,
+                                     write=write, is_scan=is_scan)
+                if post_ns:
+                    clock.advance(post_ns)
+                i += 1
+                continue
+            wend = i + headroom
+            if wend > n:
+                wend = n
+            wlen = wend - i
+            span = res[ids[i:wend]]
+            bad = span < 0
+            if any_tierless:
+                # -1 lanes are already marked bad, so the stray
+                # tierless[-1] gather on them cannot flip anything.
+                bad |= tierless[span]
+            if bad.any():
+                hits = int(bad.argmax())
+                if 2 * int(bad.sum()) > wlen:
+                    # Boundary-dense window (cold pool, thrash): the
+                    # per-window gather cannot win, so delegate the
+                    # whole window to the segment lane.
+                    accum = self.access_batch(
+                        ids[i:wend].tolist(), nbytes=nbytes, write=write,
+                        is_scan=is_scan, think_ns=think_ns,
+                        post_ns=post_ns, accum=accum,
+                    )
+                    i = wend
+                    continue
+            else:
+                hits = wlen
+            if hits:
+                win_start = i
+                # Local accumulators mirror clock/stats state, written
+                # back once per window — the fast lane's contract.
+                now = clock._now
+                pool_demand = stats.demand_time_ns
+                sp = span[:hits]
+                cuts = np.nonzero(sp[1:] != sp[:-1])[0]
+                if cuts.size:
+                    bounds_rel = [0] + (cuts + 1).tolist() + [hits]
+                else:
+                    bounds_rel = [0, hits]
+                for bi in range(len(bounds_rel) - 1):
+                    s = i + bounds_rel[bi]
+                    e = i + bounds_rel[bi + 1]
+                    tier_index = int(sp[bounds_rel[bi]])
+                    lat = lats[tier_index]
+                    # First access of the segment runs manually: it is
+                    # the only one that can fold a contention wait, as
+                    # in the batched lane.
+                    if think_ns:
+                        now += think_ns
+                    lat_i = lat
+                    if queues is not None:
+                        wait = 0.0
+                        bottleneck = None
+                        for queue in queues[tier_index]:
+                            delay = queue._free_at - now
+                            if delay > wait:
+                                wait = delay
+                                bottleneck = queue
+                        if wait > 0.0:
+                            self._session_wait_ns += wait
+                            bottleneck.note_wait(wait)
+                            lat_i = wait + lat
+                    frame = frames_get(ids[s])
+                    frame.accesses += 1
+                    frame.last_access_ns = now
+                    if write:
+                        frame.dirty = True
+                    now += lat_i
+                    pool_demand += lat_i
+                    accum += lat_i
+                    if post_ns:
+                        now += post_ns
+                    rem = e - s - 1
+                    if rem:
+                        if rem >= _LADDER_MIN and lat > 0.0:
+                            # The remaining accesses repeat one delta
+                            # cycle; the ladders replay the scalar
+                            # addition sequence exactly, and the mids
+                            # are each access's pre-latency clock (the
+                            # frame touch timestamp).
+                            if think_ns:
+                                deltas = ((think_ns, lat, post_ns)
+                                          if post_ns else (think_ns, lat))
+                                mid_index = 1
+                            else:
+                                deltas = ((lat, post_ns) if post_ns
+                                          else (lat,))
+                                mid_index = 0
+                            now, mids = chain_repeat(now, deltas, rem,
+                                                     mid_index)
+                            pool_demand = repeat_add(pool_demand, lat, rem)
+                            accum = repeat_add(accum, lat, rem)
+                            seg_pids = ids[s + 1:e].tolist()
+                            if write:
+                                for pid, mid in zip(seg_pids, mids):
+                                    f = frames_get(pid)
+                                    f.accesses += 1
+                                    f.last_access_ns = mid
+                                    f.dirty = True
+                            else:
+                                for pid, mid in zip(seg_pids, mids):
+                                    f = frames_get(pid)
+                                    f.accesses += 1
+                                    f.last_access_ns = mid
+                        else:
+                            for pid in ids[s + 1:e].tolist():
+                                if think_ns:
+                                    now += think_ns
+                                f = frames_get(pid)
+                                f.accesses += 1
+                                f.last_access_ns = now
+                                if write:
+                                    f.dirty = True
+                                now += lat
+                                pool_demand += lat
+                                accum += lat
+                                if post_ns:
+                                    now += post_ns
+                    self._flush_segment(
+                        ids, s, e, tier_index, nbytes, write,
+                        end_ns=(now - post_ns) if post_ns else now,
+                        lat=lat,
+                    )
+                stats.accesses += hits
+                stats.demand_time_ns = pool_demand
+                clock._now = now
+                if tracker_batch is not None:
+                    tracker_batch(ids, win_start, win_start + hits,
+                                  is_scan)
+                else:
+                    for j in range(win_start, win_start + hits):
+                        tracker_record(ids[j], is_scan=is_scan)
+                note(ids, win_start, win_start + hits, is_scan)
+                i += hits
+            if hits < wlen:
+                # The boundary access (fault or table-less tier)
+                # resolves scalar after the writeback above; the next
+                # window re-gathers, so its evictions/migrations are
+                # fully observed.
+                if think_ns:
+                    clock.advance(think_ns)
+                accum += self.access(int(ids[i]), nbytes=nbytes,
+                                     write=write, is_scan=is_scan)
+                if post_ns:
+                    clock.advance(post_ns)
+                i += 1
+                res = self._res_tier
+        return accum
+
+    def access_run(self, page_ids: np.ndarray, nbytes: int = CACHE_LINE,
+                   write: bool = False, is_scan: bool = False,
+                   think_ns: float = 0.0, post_ns: float = 0.0,
+                   accum: float = 0.0) -> float:
+        """Charge one uniform-shape run given as an id ndarray.
+
+        The block lane's single-shape entry point (sessions use it for
+        columnar runs); bit-identical to :meth:`access_batch` on the
+        same ids. Runs too short for the vector setup, ids outside the
+        dense table, or configurations without batch support fall back
+        to the batched lane.
+        """
+        n = len(page_ids)
+        if n == 0:
+            return accum
+        if (not self.fast_lane or n < VEC_SEG
+                or self._placement_headroom is None):
+            return self.access_batch(page_ids.tolist(), nbytes=nbytes,
+                                     write=write, is_scan=is_scan,
+                                     think_ns=think_ns, post_ns=post_ns,
+                                     accum=accum)
+        if think_ns < 0 or post_ns < 0:
+            raise BufferPoolError("think_ns and post_ns must be >= 0")
+        hi = int(page_ids.max())
+        if hi >= _RES_MAX_PIDS or int(page_ids.min()) < 0:
+            return self.access_batch(page_ids.tolist(), nbytes=nbytes,
+                                     write=write, is_scan=is_scan,
+                                     think_ns=think_ns, post_ns=post_ns,
+                                     accum=accum)
+        if hi >= self._res_tier.shape[0]:
+            self._res_grow(hi + 1)
+        return self._run_span(page_ids, 0, n, nbytes, write, is_scan,
+                              think_ns, post_ns, accum)
+
+    def access_block(self, block, accum: float = 0.0) -> float:
+        """Charge a whole columnar AccessBlock; the block lane.
+
+        Bit-identical to replaying the block's accesses through the
+        scalar loop (think advance, :meth:`access`, demand into
+        *accum*). Long uniform-shape segments go through
+        :meth:`_run_span`; short segments take a lean per-access walk
+        whose per-tier bookkeeping (replacement recency, hit counters,
+        device traffic, temperature, placement notes) is deferred to
+        window boundaries — and always flushed before any access
+        routes scalar, so eviction and rebalance decisions see exactly
+        the scalar-order state.
+        """
+        ids_nd = block.page_id
+        n = len(ids_nd)
+        if n == 0:
+            return accum
+        sizes_nd = block.nbytes
+        writes_nd = block.write
+        scans_nd = block.is_scan
+        thinks_nd = block.think_ns
+        bounds = block.segment_bounds()
+        clock = self._session_clock
+        if clock is None:
+            clock = self.clock
+        if not self.fast_lane:
+            advance = clock.advance
+            compat = self._access_compat
+            ids_l = ids_nd.tolist()
+            sizes_l = sizes_nd.tolist()
+            writes_l = writes_nd.tolist()
+            scans_l = scans_nd.tolist()
+            thinks_l = thinks_nd.tolist()
+            for j in range(n):
+                t = thinks_l[j]
+                if t:
+                    advance(t)
+                accum += compat(ids_l[j], sizes_l[j], writes_l[j],
+                                scans_l[j])
+            return accum
+        hi = int(ids_nd.max())
+        if (self._placement_headroom is None
+                or self._session_queues is not None
+                or hi >= _RES_MAX_PIDS or int(ids_nd.min()) < 0):
+            # Segment lane: one access_batch per uniform-shape segment,
+            # exactly the pre-block-lane decomposition.
+            a = 0
+            for b in bounds[1:]:
+                accum = self.access_batch(
+                    ids_nd[a:b].tolist(), nbytes=int(sizes_nd[a]),
+                    write=bool(writes_nd[a]), is_scan=bool(scans_nd[a]),
+                    think_ns=float(thinks_nd[a]), accum=accum,
+                )
+                a = b
+            return accum
+        if hi >= self._res_tier.shape[0]:
+            self._res_grow(hi + 1)
+        if (getattr(self.tracker, "record_block", None) is not None
+                and getattr(self._placement_note, "content_blind",
+                            False)):
+            result = self._block_exact(block, ids_nd, sizes_nd,
+                                       writes_nd, scans_nd, thinks_nd,
+                                       clock, accum)
+            if result is not None:
+                return result
+        return self._block_walk(block, bounds, ids_nd, sizes_nd,
+                                writes_nd, scans_nd, thinks_nd, clock,
+                                0, accum)
+
+    def _block_exact(self, block, ids_nd, sizes_nd, writes_nd,
+                     scans_nd, thinks_nd, clock, accum):
+        """Array-resolved block lane; returns None when ineligible.
+
+        A whole placement-headroom window of hits resolves in a
+        handful of array ops — one residency gather, one latency
+        gather, and exact addition-chain cumsums
+        (:func:`~repro.sim.ladder.chain_values`) that reproduce every
+        intermediate clock/demand value bit-for-bit — plus a single
+        python pass to stamp frame metadata and replay per-tier
+        replacement recency in access order.  Faults, table-less
+        tiers, and placement triggers resolve scalar between windows
+        exactly as the lean walk does; anything the chain primitive
+        cannot model exactly (ties, negative or non-finite values)
+        delegates the remaining accesses to :meth:`_block_walk`.
+        """
+        n = ids_nd.shape[0]
+        tiers = self.tiers
+        ntiers = len(tiers)
+        # Distinct access shapes and their per-tier latency rows
+        # (np.nan marks table-less tiers: those accesses go scalar).
+        pk = sizes_nd * 4 + writes_nd * 2 + scans_nd
+        if n > 1:
+            chg = np.nonzero(pk[1:] != pk[:-1])[0]
+            seg_starts = np.empty(chg.shape[0] + 1, dtype=np.int64)
+            seg_starts[0] = 0
+            seg_starts[1:] = chg + 1
+        else:
+            seg_starts = np.zeros(1, dtype=np.int64)
+        upk, inv = np.unique(pk[seg_starts], return_inverse=True)
+        rows = []
+        for key in upk.tolist():
+            lats = self._shape_latencies(int(key >> 2), bool(key & 2),
+                                         bool(key & 1))
+            rows.append([np.nan if v is None else v for v in lats])
+        lat_tab = np.array(rows, dtype=np.float64)
+        finite = np.isfinite(lat_tab)
+        fin_vals = lat_tab[finite]
+        if fin_vals.shape[0] and float(fin_vals.min()) < 0.0:
+            return None
+        has_nan = not bool(finite.all())
+        if n * float(sizes_nd.max()) >= _EXACT_LIMIT:
+            return None
+        seg_lens = np.diff(np.append(seg_starts, n))
+        rowmap = np.repeat(inv.astype(np.int64), seg_lens) * ntiers
+        # Delta classes for the addition chains: think values first,
+        # then the flattened (shape, tier) latency table.
+        if bool((thinks_nd == thinks_nd[0]).all()):
+            tvals = np.array([float(thinks_nd[0])])
+            tinv = np.zeros(n, dtype=np.int64)
+        else:
+            tvals, tinv = np.unique(thinks_nd, return_inverse=True)
+        if float(tvals.min()) < 0.0 or not np.isfinite(tvals).all():
+            return None
+        nt_t = tvals.shape[0]
+        vcls = np.concatenate((tvals, lat_tab.ravel()))
+
+        stats = self.stats
+        frames = self._frames
+        headroom_fn = self._placement_headroom
+        note = self._placement_note
+        tracker_block = self.tracker.record_block
+        lat_flat = lat_tab.ravel()
+        j = 0
+        while j < n:
+            now = clock._now
+            pool_demand = stats.demand_time_ns
+            room = headroom_fn()
+            if room <= 0:
+                # Placement trigger: scalar route, then re-open.
+                t = float(thinks_nd[j])
+                if t:
+                    clock.advance(t)
+                accum += self.access(int(ids_nd[j]),
+                                     nbytes=int(sizes_nd[j]),
+                                     write=bool(writes_nd[j]),
+                                     is_scan=bool(scans_nd[j]))
+                j += 1
+                continue
+            wend = j + room
+            if wend > n:
+                wend = n
+            sp = self._res_tier[ids_nd[j:wend]]
+            lat = lat_flat[rowmap[j:wend] + np.maximum(sp, 0)]
+            bad = sp < 0
+            if has_nan:
+                bad |= np.isnan(lat)
+            if bad.any():
+                k = int(bad.argmax())
+            else:
+                k = sp.shape[0]
+            if k == 0:
+                # Fault or table-less tier at the window head: scalar.
+                t = float(thinks_nd[j])
+                if t:
+                    clock.advance(t)
+                accum += self.access(int(ids_nd[j]),
+                                     nbytes=int(sizes_nd[j]),
+                                     write=bool(writes_nd[j]),
+                                     is_scan=bool(scans_nd[j]))
+                j += 1
+                continue
+            # The hit prefix [j, j+k): replay the clock's and the two
+            # demand accumulators' addition chains exactly.  The clock
+            # chain interleaves think and latency adds; its even
+            # positions are the post-think timestamps the frames see.
+            jk = j + k
+            ids_k = ids_nd[j:jk]
+            sp_k = sp[:k]
+            lat_cls = nt_t + rowmap[j:jk] + sp_k
+            cls2 = np.empty(2 * k, dtype=np.int64)
+            cls2[0::2] = tinv[j:jk]
+            cls2[1::2] = lat_cls
+            out2 = np.empty(2 * k)
+            clock._now = chain_values(now, vcls, cls2, out2)
+            outd = np.empty(k)
+            stats.demand_time_ns = chain_values(pool_demand, vcls,
+                                                lat_cls, outd)
+            accum = chain_values(accum, vcls, lat_cls, outd)
+            last_ts = out2[0::2]
+            stats.accesses += k
+            tracker_block(ids_nd, scans_nd, j, jk)
+            note(ids_nd, j, jk, False)
+            wr_k = writes_nd[j:jk]
+            has_w = bool(wr_k.any())
+            nb_k = sizes_nd[j:jk]
+            cnt = np.bincount(sp_k, minlength=ntiers)
+            if has_w:
+                rd = ~wr_k
+                l_cnt = np.bincount(sp_k[rd], minlength=ntiers)
+                l_byt = np.bincount(sp_k[rd], weights=nb_k[rd],
+                                    minlength=ntiers)
+                s_byt = np.bincount(sp_k[wr_k], weights=nb_k[wr_k],
+                                    minlength=ntiers)
+            else:
+                l_cnt = cnt
+                l_byt = np.bincount(sp_k, weights=nb_k,
+                                    minlength=ntiers)
+            # Duplicate collapse: per-pid frame stats reduce to a count
+            # and the final timestamp, and an LRU recency order after a
+            # batch equals the order of each pid's *last* occurrence —
+            # so dup-heavy (zipfian) windows fold per unique pid
+            # instead of per access. The pigeonhole precheck keeps
+            # dup-free scans off the sort.
+            dedup = None
+            pl = None
+            if k >= 512:
+                lo = int(ids_k.min())
+                span = int(ids_k.max()) - lo + 1
+                if span <= k:
+                    rel = ids_k - lo
+                    bc = np.bincount(rel, minlength=span)
+                    nz = np.nonzero(bc)[0]
+                    if nz.shape[0] * 5 <= 4 * k:
+                        # Last-occurrence positions without a sort:
+                        # np.put keeps the final value on duplicate
+                        # indices, and the span gate above makes a
+                        # span-sized scatter cheaper than np.unique.
+                        pos = np.empty(span, dtype=np.int64)
+                        np.put(pos, rel, np.arange(k))
+                        dedup = (nz + lo, pos[nz], bc[nz])
+            if dedup is None:
+                pl = ids_k.tolist()
+            uq_ord = uq_tier = None
+            for T in np.nonzero(cnt)[0].tolist():
+                c_t = int(cnt[T])
+                tier = tiers[T]
+                stats.per_tier[T].hits += c_t
+                device_stats = tier.path.device.stats
+                lc = int(l_cnt[T])
+                if lc:
+                    device_stats.loads += lc
+                    device_stats.load_bytes += int(l_byt[T])
+                if c_t - lc:
+                    device_stats.stores += c_t - lc
+                    device_stats.store_bytes += int(s_byt[T])
+                policy = tier.policy
+                batch = getattr(policy, "record_access_batch", None)
+                if dedup is not None and type(policy) is LRUPolicy:
+                    if uq_ord is None:
+                        order = np.argsort(dedup[1])
+                        uq_ord = dedup[0][order]
+                        uq_tier = self._res_tier[uq_ord]
+                    lst = (uq_ord if c_t == k
+                           else uq_ord[uq_tier == T]).tolist()
+                    batch(lst, 0, len(lst))
+                    continue
+                if pl is None:
+                    pl = ids_k.tolist()
+                lst = pl if c_t == k else ids_k[sp_k == T].tolist()
+                if batch is not None:
+                    batch(lst, 0, len(lst))
+                else:
+                    record = policy.record_access
+                    for pid in lst:
+                        record(pid)
+            if dedup is not None:
+                uq, lpos, ucnt = dedup
+                self._pend_acc[uq] += ucnt
+                self._pend_ts[uq] = last_ts[lpos]
+                if has_w:
+                    self._latch_dirty(ids_k[wr_k])
+            elif k == 1 or bool((ids_k[1:] > ids_k[:-1]).all()):
+                # Strictly increasing ⇒ duplicate-free, so the pending
+                # arrays take plain fancy updates (the scan shape).
+                self._pend_acc[ids_k] += 1
+                self._pend_ts[ids_k] = last_ts
+                if has_w:
+                    self._latch_dirty(ids_k[wr_k])
+            else:
+                tl = last_ts.tolist()
+                pl2 = ids_k.tolist() if pl is None else pl
+                if has_w:
+                    for frame, ts, w in zip(
+                            map(frames.__getitem__, pl2), tl,
+                            wr_k.tolist()):
+                        frame.accesses += 1
+                        frame.last_access_ns = ts
+                        if w:
+                            frame.dirty = True
+                else:
+                    for frame, ts in zip(
+                            map(frames.__getitem__, pl2), tl):
+                        frame.accesses += 1
+                        frame.last_access_ns = ts
+            j = jk
+        return accum
+
+    def _block_walk(self, block, bounds, ids_nd, sizes_nd, writes_nd,
+                    scans_nd, thinks_nd, clock, start: int,
+                    accum: float) -> float:
+        """Ladder-based block walk: the general fast lane.
+
+        Handles arbitrary (fractional) latencies via chain ladders and
+        content-sensitive placement notes via per-portion spans; the
+        integer-exact lane (:meth:`_block_exact`) delegates here from
+        *start* when its preconditions fail mid-block.  Long
+        uniform-shape segments go through :meth:`_run_span`; short
+        segments take a lean per-access walk with deferred per-tier
+        bookkeeping, always flushed before any access routes scalar.
+        """
+        n = len(ids_nd)
+        stats = self.stats
+        frames_get = self._frames.get
+        headroom_fn = self._placement_headroom
+        note = self._placement_note
+        note_blind = getattr(note, "content_blind", False)
+        tracker_batch = self._tracker_batch
+        tracker_record = self.tracker.record
+        tracker_block = getattr(self.tracker, "record_block", None)
+        ntiers = len(self.tiers)
+        nsegs = len(bounds) - 1
+        # Shape columns: bulk-convert when segments are short (the
+        # per-element cost amortises), index per segment when long.
+        use_lists = 4 * nsegs > n
+        if use_lists:
+            sizes_l = sizes_nd.tolist()
+            writes_l = writes_nd.tolist()
+            scans_l = scans_nd.tolist()
+            thinks_l = thinks_nd.tolist()
+        ids_l: list | None = None
+
+        # Lean-window state (see docstring): local clock/demand
+        # mirrors plus deferred per-tier bookkeeping.
+        win_room = 0
+        win_count = 0
+        win_tracker_start = 0
+        now = 0.0
+        pool_demand = 0.0
+        note_spans: list[tuple[int, int, bool]] = []
+        by_tier: list[list] = [[] for _ in range(ntiers)]
+        tier_loads = [0] * ntiers
+        tier_stores = [0] * ntiers
+        tier_load_bytes = [0] * ntiers
+        tier_store_bytes = [0] * ntiers
+
+        def flush_lean() -> None:
+            """Write the open lean window back: stats/clock first, then
+            the deferred per-tier and temperature/placement records, in
+            scalar-equivalent order."""
+            nonlocal win_room, win_count
+            win_room = 0
+            if not win_count:
+                return
+            stats.accesses += win_count
+            stats.demand_time_ns = pool_demand
+            clock._now = now
+            win_end = win_tracker_start + win_count
+            if tracker_block is not None:
+                tracker_block(ids_nd, scans_nd, win_tracker_start,
+                              win_end)
+            else:
+                for k in range(win_tracker_start, win_end):
+                    tracker_record(int(ids_nd[k]),
+                                   is_scan=bool(scans_nd[k]))
+            if note_blind:
+                note(ids_nd, win_tracker_start, win_end, False)
+            else:
+                for s0, s1, sflag in note_spans:
+                    note(ids_nd, s0, s1, sflag)
+            note_spans.clear()
+            for T in range(ntiers):
+                lst = by_tier[T]
+                if not lst:
+                    continue
+                tier = self.tiers[T]
+                policy = tier.policy
+                batch = getattr(policy, "record_access_batch", None)
+                if batch is not None:
+                    batch(lst, 0, len(lst))
+                else:
+                    record = policy.record_access
+                    for pid in lst:
+                        record(pid)
+                stats.per_tier[T].hits += len(lst)
+                device_stats = tier.path.device.stats
+                if tier_loads[T]:
+                    device_stats.loads += tier_loads[T]
+                    device_stats.load_bytes += tier_load_bytes[T]
+                    tier_loads[T] = 0
+                    tier_load_bytes[T] = 0
+                if tier_stores[T]:
+                    device_stats.stores += tier_stores[T]
+                    device_stats.store_bytes += tier_store_bytes[T]
+                    tier_stores[T] = 0
+                    tier_store_bytes[T] = 0
+                lst.clear()
+            win_count = 0
+
+        a = 0
+        for b in bounds[1:]:
+            if b <= start:
+                a = b
+                continue
+            a0 = a if a >= start else start
+            if use_lists:
+                nb = sizes_l[a]
+                w = writes_l[a]
+                sc = scans_l[a]
+                t = thinks_l[a]
+            else:
+                nb = int(sizes_nd[a])
+                w = bool(writes_nd[a])
+                sc = bool(scans_nd[a])
+                t = float(thinks_nd[a])
+            if b - a0 >= VEC_SEG:
+                flush_lean()
+                accum = self._run_span(ids_nd, a0, b, nb, w, sc, t, 0.0,
+                                       accum)
+                a = b
+                continue
+            lats = self._shape_latencies(nb, w, sc)
+            if ids_l is None:
+                ids_l = ids_nd.tolist()
+            j = a0
+            p_start = a0
+            while j < b:
+                if win_room <= 0:
+                    if win_count:
+                        if p_start < j:
+                            note_spans.append((p_start, j, sc))
+                        flush_lean()
+                    room = headroom_fn()
+                    if room <= 0:
+                        # Placement trigger: scalar route.
+                        pid = ids_l[j]
+                        if t:
+                            clock.advance(t)
+                        accum += self.access(pid, nbytes=nb, write=w,
+                                             is_scan=sc)
+                        j += 1
+                        p_start = j
+                        continue
+                    win_room = room
+                    win_tracker_start = j
+                    now = clock._now
+                    pool_demand = stats.demand_time_ns
+                    p_start = j
+                pid = ids_l[j]
+                frame = frames_get(pid)
+                if frame is not None:
+                    T = frame.tier_index
+                    lat = lats[T]
+                else:
+                    lat = None
+                if lat is None:
+                    # Fault or table-less tier: flush every deferred
+                    # effect, then resolve scalar so evictions and
+                    # migrations see exactly the scalar-order state.
+                    # The window must close even when it is still empty
+                    # — its clock/demand mirrors predate the scalar
+                    # access and would go stale otherwise.
+                    if win_count:
+                        if p_start < j:
+                            note_spans.append((p_start, j, sc))
+                        flush_lean()
+                    else:
+                        win_room = 0
+                    if t:
+                        clock.advance(t)
+                    accum += self.access(pid, nbytes=nb, write=w,
+                                         is_scan=sc)
+                    j += 1
+                    p_start = j
+                    continue
+                if t:
+                    now += t
+                frame.accesses += 1
+                frame.last_access_ns = now
+                if w:
+                    frame.dirty = True
+                    tier_stores[T] += 1
+                    tier_store_bytes[T] += nb
+                else:
+                    tier_loads[T] += 1
+                    tier_load_bytes[T] += nb
+                by_tier[T].append(pid)
+                now += lat
+                pool_demand += lat
+                accum += lat
+                win_room -= 1
+                win_count += 1
+                j += 1
+            if win_count and p_start < j:
+                note_spans.append((p_start, j, sc))
+            a = b
+        flush_lean()
+        return accum
+
     def _register_hit(self, page_id: PageId, tier_index: int) -> None:
         """Shared hit bookkeeping for the scalar access paths."""
         self.tiers[tier_index].policy.record_access(page_id)
@@ -842,19 +1817,41 @@ class TieredBufferPool:
             raise BufferPoolError(
                 f"placement chose invalid tier {tier_index}"
             )
-        make_room_time = self._make_room(tier_index)
-        install_time = self.tiers[tier_index].path.write_time(self.page_size)
+        tier = self.tiers[tier_index]
+        if self._resident_counts[tier_index] < tier.capacity_pages:
+            make_room_time = 0.0
+        else:
+            make_room_time = self._make_room(tier_index)
+        install_time = self._inst_wr.get(tier_index)
+        if install_time is None:
+            install_time = tier.path.write_time(self.page_size)
+            self._inst_wr[tier_index] = install_time
+        else:
+            device_stats = tier.path.device.stats
+            device_stats.stores += 1
+            device_stats.store_bytes += self.page_size
         self._install(page, tier_index)
         return io_time + make_room_time + install_time
 
     def _read_backing(self, page_id: PageId) -> tuple[Page, float]:
-        if self.backing is not None:
-            # The page file is the home of the whole page-id space:
-            # every fault pays a storage read.
-            self.backing.ensure(page_id)
-            return self.backing.read_page(page_id)
-        # No backing: anonymous page, materialized free on first touch.
-        return self._anonymous(page_id), 0.0
+        backing = self.backing
+        if backing is None:
+            # No backing: anonymous page, materialized on first touch.
+            return self._anonymous(page_id), 0.0
+        # The page file is the home of the whole page-id space: every
+        # fault pays a storage read, constant per (device, page size).
+        page = backing.ensure(page_id)
+        device = backing.device
+        memo = self._back_rd
+        if memo is not None and memo[0] is device and device.healthy:
+            stats = device.stats
+            stats.reads += 1
+            stats.read_bytes += memo[2]
+            return page, memo[1]
+        size = backing.page_size
+        io_time = device.read_time(size)
+        self._back_rd = (device, io_time, size)
+        return page, io_time
 
     def _anonymous(self, page_id: PageId) -> Page:
         """The anonymous (backing-less) page, created on first touch."""
@@ -871,6 +1868,10 @@ class TieredBufferPool:
         tier's resident_peak high-water mark."""
         frame = Frame(page=page, tier_index=tier_index)
         self._frames[page.page_id] = frame
+        self._res_set(page.page_id, tier_index)
+        if page.page_id < self._dirty_mirror.shape[0]:
+            self._dirty_mirror[page.page_id] = False
+        self._ord_add(page.page_id, tier_index)
         self._resident_counts[tier_index] += 1
         self.tiers[tier_index].policy.record_insert(page.page_id)
         if update_peak:
@@ -916,11 +1917,27 @@ class TieredBufferPool:
 
     def _evict_to_storage(self, page_id: PageId) -> float:
         frame = self._frames.pop(page_id)
+        self._res_set(page_id, -1)
+        slot = self._ord_slot.pop(page_id, None)
+        if slot is not None:
+            self._ord_valid[slot] = False
+        if page_id < self._pend_acc.shape[0]:
+            # A frame's stats die with the frame; a re-faulted page
+            # starts from zero, so pending deltas must not leak into
+            # the next frame for this pid.
+            self._pend_acc[page_id] = 0
         self._resident_counts[frame.tier_index] -= 1
         tier = self.tiers[frame.tier_index]
         tier.policy.remove(page_id)
         self.stats.per_tier[frame.tier_index].evictions += 1
-        elapsed = tier.path.read_time(self.page_size)
+        elapsed = self._evt_rd.get(frame.tier_index)
+        if elapsed is None:
+            elapsed = tier.path.read_time(self.page_size)
+            self._evt_rd[frame.tier_index] = elapsed
+        else:
+            device_stats = tier.path.device.stats
+            device_stats.loads += 1
+            device_stats.load_bytes += self.page_size
         if frame.dirty:
             self.stats.writebacks += 1
             if self.backing is not None and \
@@ -964,17 +1981,41 @@ class TieredBufferPool:
             return 0.0
         src = self.tiers[from_tier]
         dst = self.tiers[to_tier]
-        elapsed = self._make_room(to_tier)
-        elapsed += src.path.read_time(self.page_size)
-        elapsed += dst.path.write_time(self.page_size)
+        if self._resident_counts[to_tier] < dst.capacity_pages:
+            elapsed = 0.0
+        else:
+            elapsed = self._make_room(to_tier)
+        page_size = self.page_size
+        rw = self._mig_rw.get((from_tier, to_tier))
+        if rw is None:
+            rw = (src.path.read_time(page_size),
+                  dst.path.write_time(page_size))
+            self._mig_rw[(from_tier, to_tier)] = rw
+        else:
+            # read_time/write_time also count device traffic; replay
+            # those bumps when the times come from the cache.
+            src_stats = src.path.device.stats
+            src_stats.loads += 1
+            src_stats.load_bytes += page_size
+            dst_stats = dst.path.device.stats
+            dst_stats.stores += 1
+            dst_stats.store_bytes += page_size
+        elapsed += rw[0]
+        elapsed += rw[1]
         src.policy.remove(page_id)
         dst.policy.record_insert(page_id)
-        self._resident_counts[from_tier] -= 1
-        self._resident_counts[to_tier] += 1
+        counts = self._resident_counts
+        counts[from_tier] -= 1
+        counts[to_tier] += 1
         frame.tier_index = to_tier
-        self.stats.migrations += 1
+        self._res_set(page_id, to_tier)
+        slot = self._ord_slot.get(page_id)
+        if slot is not None:
+            self._ord_tier[slot] = to_tier
+        stats = self.stats
+        stats.migrations += 1
         if charge_migration_time:
-            self.stats.migration_time_ns += elapsed
+            stats.migration_time_ns += elapsed
         trace = self._trace
         if trace.enabled:
             session_clock = self._session_clock
@@ -984,20 +2025,21 @@ class TieredBufferPool:
                 "pool", now, now + elapsed,
                 {"page": page_id, "from": src.name, "to": dst.name},
             )
-        tier_stats = self.stats.per_tier[to_tier]
+        tier_stats = stats.per_tier[to_tier]
         if demotion:
             tier_stats.demotions_in += 1
         else:
             tier_stats.promotions_in += 1
-        tier_stats.resident_peak = max(
-            tier_stats.resident_peak, self.tier_residents(to_tier)
-        )
+        residents = counts[to_tier]
+        if residents > tier_stats.resident_peak:
+            tier_stats.resident_peak = residents
         return elapsed
 
     # -- flushing -------------------------------------------------------------------
 
     def flush_all(self) -> float:
         """Write every dirty frame back to storage; returns elapsed ns."""
+        self._dirty_mirror[:] = False
         elapsed = 0.0
         for frame in self._frames.values():
             if not frame.dirty:
@@ -1046,6 +2088,29 @@ class TieredBufferPool:
             )
         self._install(page, tier_index, update_peak=False)
 
+    def resize_tier(self, tier_index: int, capacity_pages: int) -> float:
+        """Change a tier's capacity in place; returns elapsed ns.
+
+        Growing is free. Shrinking evicts (or demotes, per the
+        placement policy) pages until the tier fits — the same
+        make-room machinery the fault path uses, so the residency
+        table stays in sync through the ordinary hooks. The elapsed
+        eviction time is returned without advancing any clock; the
+        caller decides whom to charge.
+        """
+        if not 0 <= tier_index < len(self.tiers):
+            raise BufferPoolError(f"invalid tier {tier_index}")
+        if capacity_pages <= 0:
+            raise BufferPoolError(
+                f"tier {self.tiers[tier_index].name}: capacity must be"
+                " positive"
+            )
+        self.tiers[tier_index].capacity_pages = capacity_pages
+        elapsed = 0.0
+        while self.tier_residents(tier_index) > capacity_pages:
+            elapsed += self._evict_one(tier_index)
+        return elapsed
+
     def drop_all(self) -> None:
         """Empty the pool without timing (test/reset helper)."""
         # policy.remove does not touch self._frames, so no snapshot
@@ -1053,6 +2118,12 @@ class TieredBufferPool:
         for page_id, frame in self._frames.items():
             self.tiers[frame.tier_index].policy.remove(page_id)
         self._frames.clear()
+        self._res_tier.fill(-1)
+        self._ord_valid[:self._ord_len] = False
+        self._ord_len = 0
+        self._ord_slot = {}
+        self._pend_acc[:] = 0
+        self._dirty_mirror[:] = False
         self._resident_counts = [0] * len(self.tiers)
         self._pinned_frames = 0
 

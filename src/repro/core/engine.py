@@ -12,6 +12,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import numpy as np
+
 from .. import config
 from ..errors import ConfigError
 from ..sim.context import SimContext
@@ -20,8 +22,9 @@ from ..sim.memory import MemoryDevice
 from ..storage.disk import StorageDevice
 from ..storage.file import PageFile
 from ..units import PAGE_SIZE, SECOND, fmt_ns
+from ..sim.ladder import repeat_add
 from ..workloads.traces import Access, AccessBlock, blocks_to_accesses
-from .buffer import MIN_BATCH_RUN, Tier, TieredBufferPool
+from .buffer import Tier, TieredBufferPool
 from .placement import DbCostPolicy, PlacementPolicy
 from .temperature import ExactTracker
 
@@ -291,8 +294,7 @@ class ScaleUpEngine:
         with ctx.span(f"run:{label or self.name}", cat="engine"):
             if fast:
                 batch = pool.access_batch
-                access_one = pool.access
-                advance = clock.advance
+                access_block = pool.access_block
                 pending: list[int] = []
                 run_nbytes = -1
                 run_write = False
@@ -312,53 +314,40 @@ class ScaleUpEngine:
                         if not n:
                             continue
                         ops += n
-                        bounds = item.segment_bounds()
-                        page_ids = item.page_id.tolist()
-                        writes = item.write.tolist()
-                        scans = item.is_scan.tolist()
-                        sizes = item.nbytes.tolist()
-                        thinks = item.think_ns.tolist()
-                        seg_start = 0
-                        for seg_end in bounds[1:]:
-                            nb = sizes[seg_start]
-                            w = writes[seg_start]
-                            s = scans[seg_start]
-                            t = thinks[seg_start]
-                            count = seg_end - seg_start
-                            if count == 1:
-                                # The interleaved-shape worst case:
-                                # route straight to the table-based
-                                # scalar access, no batch-call or
-                                # range overhead.
+                        # The block lane resolves the whole block —
+                        # hits in array ops, boundaries scalar —
+                        # bit-identically to the segment decomposition
+                        # this loop used to do inline.
+                        demand_ns = access_block(item, accum=demand_ns)
+                        thinks = item.think_ns
+                        if thinks.any():
+                            # Replay the think accumulator's scalar
+                            # addition sequence.  Whole-nanosecond
+                            # thinks on a whole-number accumulator
+                            # below 2**53 add without rounding, so the
+                            # plain sum is bit-identical; otherwise one
+                            # exact ladder per shape segment (short
+                            # segments loop; the ladder setup only
+                            # pays off beyond that).
+                            total = float(thinks.sum())
+                            if (think_ns.is_integer()
+                                    and think_ns + total < 2.0 ** 53
+                                    and bool((np.floor(thinks)
+                                              == thinks).all())):
+                                think_ns += total
+                                continue
+                            seg_start = 0
+                            for seg_end in item.segment_bounds()[1:]:
+                                t = float(thinks[seg_start])
                                 if t:
-                                    advance(t)
-                                    think_ns += t
-                                demand_ns += access_one(
-                                    page_ids[seg_start], nb, w, s)
-                            elif count < MIN_BATCH_RUN:
-                                # Short run: skip the batch-call
-                                # overhead; this is by definition
-                                # what access_batch would do.
-                                for j in range(seg_start, seg_end):
-                                    if t:
-                                        advance(t)
-                                        think_ns += t
-                                    demand_ns += access_one(
-                                        page_ids[j], nb, w, s)
-                            else:
-                                demand_ns = batch(
-                                    page_ids[seg_start:seg_end],
-                                    nbytes=nb, write=w, is_scan=s,
-                                    think_ns=t, accum=demand_ns,
-                                )
-                                if t:
-                                    # One scalar-ordered addition per
-                                    # access; the repeated-add chain
-                                    # has no closed form that is
-                                    # bit-identical.
-                                    for _ in range(count):
-                                        think_ns += t
-                            seg_start = seg_end
+                                    count = seg_end - seg_start
+                                    if count >= 64:
+                                        think_ns = repeat_add(
+                                            think_ns, t, count)
+                                    else:
+                                        for _ in range(count):
+                                            think_ns += t
+                                seg_start = seg_end
                         continue
                     access = item
                     if (access.nbytes != run_nbytes
@@ -400,6 +389,9 @@ class ScaleUpEngine:
                         access.is_scan,
                     )
                     ops += 1
+        sync_frames = getattr(pool, "sync_frame_stats", None)
+        if sync_frames is not None:
+            sync_frames()
         stats = pool.stats
         window = stats.accesses - start_accesses
         report = EngineReport(

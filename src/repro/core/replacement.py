@@ -71,7 +71,20 @@ class LRUPolicy:
     def record_access_batch(self, keys: Sequence[int], start: int,
                             end: int) -> None:
         """Move a run of pages to the MRU end, in order."""
-        move = self._order.move_to_end
+        n = end - start
+        order = self._order
+        if n == len(order) and n > 64:
+            # A batch of distinct keys covering every tracked page
+            # leaves the recency order equal to the batch order — one
+            # C-level rebuild instead of n move_to_end calls.
+            rebuilt = OrderedDict.fromkeys(
+                keys if start == 0 and end == len(keys)
+                else keys[start:end]
+            )
+            if len(rebuilt) == n and rebuilt.keys() == order.keys():
+                self._order = rebuilt
+                return
+        move = order.move_to_end
         i = start
         try:
             while i < end:

@@ -53,6 +53,7 @@ from typing import Callable, Iterable, Sequence
 from ..errors import ConfigError
 from ..sim.clock import SimClock
 from ..sim.events import Simulator
+from ..sim.ladder import repeat_add
 from ..units import SECOND
 from ..workloads.traces import Access, AccessBlock, ShapeSegments
 from .buffer import TieredBufferPool
@@ -501,6 +502,7 @@ class ConcurrentEngine:
         ops = 0
         segments = session._segments
         batch = pool.access_batch
+        run_nd = pool.access_run
         pool.session_begin(session.clock)
         try:
             while budget > 0:
@@ -510,18 +512,33 @@ class ConcurrentEngine:
                     break
                 page_ids, nbytes, write, is_scan, think, count = run
                 demand_before = report.demand_ns
-                report.demand_ns = batch(
-                    page_ids, nbytes=nbytes, write=write,
-                    is_scan=is_scan, think_ns=think,
-                    accum=report.demand_ns,
-                )
+                if type(page_ids) is list:
+                    report.demand_ns = batch(
+                        page_ids, nbytes=nbytes, write=write,
+                        is_scan=is_scan, think_ns=think,
+                        accum=report.demand_ns,
+                    )
+                else:
+                    # Columnar run straight off a block: the pool's
+                    # block lane resolves it without materialising a
+                    # Python list (bit-identical to access_batch).
+                    report.demand_ns = run_nd(
+                        page_ids, nbytes=nbytes, write=write,
+                        is_scan=is_scan, think_ns=think,
+                        accum=report.demand_ns,
+                    )
                 if think:
-                    # One scalar-ordered addition per access, matching
-                    # ScaleUpEngine.run's think accounting chain.
-                    think_total = report.think_ns
-                    for _ in range(count):
-                        think_total += think
-                    report.think_ns = think_total
+                    # Replay the scalar think addition chain, as in
+                    # ScaleUpEngine.run: an exact ladder once the run
+                    # is long enough to amortise the setup.
+                    if count >= 64:
+                        report.think_ns = repeat_add(report.think_ns,
+                                                     think, count)
+                    else:
+                        think_total = report.think_ns
+                        for _ in range(count):
+                            think_total += think
+                        report.think_ns = think_total
                 report.ops += count
                 ops += count
                 budget -= count

@@ -20,7 +20,16 @@ import heapq
 import random
 from typing import Iterable, Protocol, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError
+from ..sim.ladder import repeat_add_vec
+
+#: Dense heat arrays never grow past this many page ids; larger (or
+#: negative) ids spill into a plain dict side table.
+_MAX_DENSE_PIDS = 1 << 22
+#: Below this run length the scalar loop beats the numpy setup cost.
+_VEC_MIN = 64
 
 
 class TemperatureTracker(Protocol):
@@ -58,6 +67,14 @@ class ExactTracker:
     approximates recent access frequency. Scan accesses can be
     discounted (``scan_weight``): the engine knows a sequential scan
     will not re-touch a page soon, a key advantage over the OS view.
+
+    The store is a dense ``page_id → heat`` float64 array plus a
+    membership bitmap so the buffer pool's block lane can record whole
+    windows in a few numpy ops; ids outside the dense range spill into
+    a dict side table.  Every update applies the same IEEE additions in
+    the same per-page order as a :meth:`record` loop (duplicated ids go
+    through an exact repeated-addition ladder), so heats stay
+    bit-identical to the scalar history.
     """
 
     def __init__(self, decay: float = 0.5, epoch_accesses: int = 10_000,
@@ -71,13 +88,48 @@ class ExactTracker:
         self.decay = decay
         self.epoch_accesses = epoch_accesses
         self.scan_weight = scan_weight
-        self._heat: dict[int, float] = {}
+        self._harr = np.zeros(0, dtype=np.float64)
+        self._present = np.zeros(0, dtype=bool)
+        self._over: dict[int, float] = {}
         self._since_epoch = 0
+
+    @property
+    def _heat(self) -> dict[int, float]:
+        """Dict view of the tracked heats (membership-exact; ids in
+        dense-index order rather than first-touch order)."""
+        out = {int(pid): float(self._harr[pid])
+               for pid in np.nonzero(self._present)[0]}
+        if self._over:
+            out.update(self._over)
+        return out
+
+    def _ensure(self, max_pid: int) -> None:
+        size = self._harr.shape[0]
+        if max_pid < size:
+            return
+        new = max(1024, size * 2)
+        while new <= max_pid:
+            new *= 2
+        new = min(new, _MAX_DENSE_PIDS)
+        grown = np.zeros(new, dtype=np.float64)
+        grown[:size] = self._harr
+        self._harr = grown
+        pres = np.zeros(new, dtype=bool)
+        pres[:size] = self._present
+        self._present = pres
+
+    def _add_one(self, pid: int, weight: float) -> None:
+        if 0 <= pid < _MAX_DENSE_PIDS:
+            self._ensure(pid)
+            self._harr[pid] += weight
+            self._present[pid] = True
+        else:
+            pid = int(pid)
+            self._over[pid] = self._over.get(pid, 0.0) + weight
 
     def record(self, page_id: int, is_scan: bool = False) -> None:
         """Observe one access (scans get a reduced weight)."""
-        weight = self.scan_weight if is_scan else 1.0
-        self._heat[page_id] = self._heat.get(page_id, 0.0) + weight
+        self._add_one(page_id, self.scan_weight if is_scan else 1.0)
         self._since_epoch += 1
         if self._since_epoch >= self.epoch_accesses:
             self._age()
@@ -85,49 +137,224 @@ class ExactTracker:
     def record_batch(self, page_ids: Sequence[int], start: int, end: int,
                      is_scan: bool = False) -> None:
         """Observe a run of accesses; equivalent to a :meth:`record`
-        loop, with the dict lookups and epoch bookkeeping hoisted.
-        Aging fires at exactly the same access index as it would in
-        the scalar loop."""
+        loop. ndarray runs are applied in bulk (one fancy-indexed add
+        for distinct ids, an exact ladder for duplicates); aging fires
+        at exactly the same access index as in the scalar loop."""
         weight = self.scan_weight if is_scan else 1.0
-        heat = self._heat
-        heat_get = heat.get
+        if (isinstance(page_ids, np.ndarray)
+                and end - start >= _VEC_MIN):
+            ids = page_ids[start:end]
+            since = self._since_epoch
+            epoch = self.epoch_accesses
+            pos = 0
+            n = ids.shape[0]
+            while pos < n:
+                take = min(n - pos, epoch - since)
+                self._apply_uniform(ids[pos:pos + take], weight)
+                since += take
+                pos += take
+                if since >= epoch:
+                    self._age()
+                    since = 0
+            self._since_epoch = since
+            return
         since = self._since_epoch
         epoch = self.epoch_accesses
         for i in range(start, end):
-            pid = page_ids[i]
-            heat[pid] = heat_get(pid, 0.0) + weight
+            self._add_one(page_ids[i], weight)
             since += 1
             if since >= epoch:
                 self._age()
                 since = 0
-                heat = self._heat  # _age rebuilds the dict
-                heat_get = heat.get
         self._since_epoch = since
+
+    def record_block(self, page_ids: np.ndarray, scans: np.ndarray,
+                     start: int, end: int) -> None:
+        """Observe ``page_ids[start:end]`` with per-access scan flags —
+        equivalent to a :meth:`record` loop over mixed scan/point
+        accesses.  Used by the buffer pool's block lane to flush one
+        window of deferred tracker updates."""
+        if end - start < _VEC_MIN:
+            since = self._since_epoch
+            epoch = self.epoch_accesses
+            scan_w = self.scan_weight
+            for i in range(start, end):
+                self._add_one(page_ids[i], scan_w if scans[i] else 1.0)
+                since += 1
+                if since >= epoch:
+                    self._age()
+                    since = 0
+            self._since_epoch = since
+            return
+        ids = page_ids[start:end]
+        flags = scans[start:end]
+        since = self._since_epoch
+        epoch = self.epoch_accesses
+        pos = 0
+        n = ids.shape[0]
+        scan_w = self.scan_weight
+        while pos < n:
+            take = min(n - pos, epoch - since)
+            fl = flags[pos:pos + take]
+            if not fl.any():
+                self._apply_uniform(ids[pos:pos + take], 1.0)
+            elif fl.all():
+                self._apply_uniform(ids[pos:pos + take], scan_w)
+            else:
+                self._apply_mixed(ids[pos:pos + take], fl)
+            since += take
+            pos += take
+            if since >= epoch:
+                self._age()
+                since = 0
+        self._since_epoch = since
+
+    def _apply_uniform(self, ids: np.ndarray, weight: float) -> None:
+        """Bulk-apply one add of ``weight`` per element of ``ids``."""
+        lo = int(ids.min())
+        hi = int(ids.max())
+        if lo < 0 or hi >= _MAX_DENSE_PIDS:
+            for pid in ids.tolist():
+                self._add_one(pid, weight)
+            return
+        self._ensure(hi)
+        uniq, counts = np.unique(ids, return_counts=True)
+        harr = self._harr
+        singles = uniq[counts == 1]
+        if singles.shape[0]:
+            harr[singles] = harr[singles] + weight
+        dmask = counts > 1
+        if dmask.any():
+            dups = uniq[dmask]
+            heats = harr[dups]
+            repeat_add_vec(heats, weight, counts[dmask].astype(np.int64))
+            harr[dups] = heats
+        self._present[uniq] = True
+
+    def _apply_mixed(self, ids: np.ndarray, scans: np.ndarray) -> None:
+        """Bulk-apply per-access weights (scan-discounted or full)."""
+        lo = int(ids.min())
+        hi = int(ids.max())
+        scan_w = self.scan_weight
+        if lo < 0 or hi >= _MAX_DENSE_PIDS:
+            for pid, flag in zip(ids.tolist(), scans.tolist()):
+                self._add_one(pid, scan_w if flag else 1.0)
+            return
+        self._ensure(hi)
+        # Scans and point accesses usually touch disjoint page sets
+        # (OLAP vs OLTP tables); when they do, every page sees a single
+        # weight and each group applies as one uniform bulk add —
+        # additions to distinct pages are independent, so no sort is
+        # needed.
+        if hi < (1 << 20):
+            s_ids = ids[scans]
+            p_ids = ids[~scans]
+            mark = np.zeros(hi + 1, dtype=bool)
+            mark[s_ids] = True
+            if not mark[p_ids].any():
+                if p_ids.shape[0]:
+                    self._apply_uniform(p_ids, 1.0)
+                if s_ids.shape[0]:
+                    self._apply_uniform(s_ids, scan_w)
+                return
+        weights = np.where(scans, scan_w, 1.0)
+        order = np.argsort(ids, kind="stable")
+        sid = ids[order]
+        sw = weights[order]
+        n = sid.shape[0]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(sid[1:], sid[:-1], out=first[1:])
+        starts = np.nonzero(first)[0]
+        counts = np.diff(np.append(starts, n))
+        uniq = sid[starts]
+        wmin = np.minimum.reduceat(sw, starts)
+        wmax = np.maximum.reduceat(sw, starts)
+        uniform = wmin == wmax
+        harr = self._harr
+        smask = uniform & (counts == 1)
+        if smask.any():
+            singles = uniq[smask]
+            harr[singles] = harr[singles] + wmin[smask]
+        dmask = uniform & (counts > 1)
+        if dmask.any():
+            dups = uniq[dmask]
+            heats = harr[dups]
+            repeat_add_vec(heats, wmin[dmask], counts[dmask].astype(np.int64))
+            harr[dups] = heats
+        if not uniform.all():
+            # A page touched by both scans and point accesses inside one
+            # window: additions don't commute across weights, so replay
+            # that page's adds in original trace order.
+            for gi in np.nonzero(~uniform)[0]:
+                pid = int(uniq[gi])
+                a = int(starts[gi])
+                b = a + int(counts[gi])
+                h = float(harr[pid])
+                for w in sw[a:b].tolist():
+                    h += w
+                harr[pid] = h
+        self._present[uniq] = True
 
     def _age(self) -> None:
         self._since_epoch = 0
         if self.decay >= 1.0:
             return
-        self._heat = {
-            pid: h * self.decay for pid, h in self._heat.items()
-            if h * self.decay > 1e-6
-        }
+        harr = self._harr
+        np.multiply(harr, self.decay, out=harr)
+        keep = harr > 1e-6
+        np.logical_and(self._present, keep, out=self._present)
+        harr[~self._present] = 0.0
+        if self._over:
+            self._over = {
+                pid: h * self.decay for pid, h in self._over.items()
+                if h * self.decay > 1e-6
+            }
 
     def heat(self, page_id: int) -> float:
         """Decayed access frequency of the page."""
-        return self._heat.get(page_id, 0.0)
+        if 0 <= page_id < self._harr.shape[0]:
+            if self._present[page_id]:
+                return float(self._harr[page_id])
+            return 0.0
+        return self._over.get(int(page_id), 0.0)
+
+    def heat_array(self, page_ids: Sequence[int]) -> np.ndarray:
+        """Heats for a batch of pages; elementwise equal to
+        :meth:`heat`.  Lets placement policies sort thousands of
+        residents without a python call per key."""
+        ids = np.asarray(page_ids, dtype=np.int64)
+        out = np.zeros(ids.shape[0])
+        size = self._harr.shape[0]
+        dense = (ids >= 0) & (ids < size)
+        if dense.all():
+            np.copyto(out, np.where(self._present[ids],
+                                    self._harr[ids], 0.0))
+        else:
+            sel = ids[dense]
+            out[dense] = np.where(self._present[sel],
+                                  self._harr[sel], 0.0)
+            for i in np.nonzero(~dense)[0]:
+                out[i] = self.heat(int(ids[i]))
+        return out
 
     def hottest(self, n: int) -> list[int]:
         """The *n* pages with highest heat."""
-        return heapq.nlargest(n, self._heat, key=self._heat.__getitem__)
+        heat = self._heat
+        return heapq.nlargest(n, heat, key=heat.__getitem__)
 
     def coldest(self, n: int) -> list[int]:
         """The *n* pages with lowest heat."""
-        return heapq.nsmallest(n, self._heat, key=self._heat.__getitem__)
+        heat = self._heat
+        return heapq.nsmallest(n, heat, key=heat.__getitem__)
 
     def forget(self, page_id: int) -> None:
         """Drop the page's history."""
-        self._heat.pop(page_id, None)
+        if 0 <= page_id < self._harr.shape[0]:
+            self._present[page_id] = False
+            self._harr[page_id] = 0.0
+        else:
+            self._over.pop(int(page_id), None)
 
     def tracked(self) -> Iterable[int]:
         """Page ids with non-zero heat."""

@@ -41,6 +41,7 @@ from ..errors import ConfigError
 from ..workloads.scans import (
     mixed_htap_blocks,
     mixed_htap_trace,
+    scan_blocks,
     scan_trace,
 )
 from ..serving.tenants import TenantTable
@@ -149,8 +150,10 @@ def _scan_builder(scale: float) -> tuple[ScaleUpEngine, list]:
     """Sequential scan over a CXL-resident table: the E5/A8 shape.
 
     After warming, every access is a tier hit, so the run measures the
-    pure hit-path cost — where the batched lane amortises per-access
-    bookkeeping over whole page runs.
+    pure hit-path cost — where the block lane resolves whole columnar
+    runs against the residency table in a handful of array ops. The
+    trace is the block twin of the scalar scan (elementwise
+    identical), so the digest matches the object-trace runs exactly.
     """
     pages = max(64, int(3000 * scale))
     repeats = 8
@@ -160,7 +163,7 @@ def _scan_builder(scale: float) -> tuple[ScaleUpEngine, list]:
         name="perf-scan",
     )
     engine.warm_with(scan_trace(0, pages, repeats=1, think_ns=0.0))
-    trace = list(scan_trace(0, pages, repeats=repeats))
+    trace = list(scan_blocks(0, pages, repeats=repeats))
     return engine, trace
 
 
@@ -170,7 +173,9 @@ def _oltp_builder(scale: float) -> tuple[ScaleUpEngine, list]:
     The working set fits across DRAM + CXL — the paper's capacity
     thesis — so after warming the run is hit-dominated: short mixed
     read/write runs, live migrations from the cost-based placement
-    policy, and frequent coalescer flushes at write boundaries.
+    policy, and frequent shape changes at write boundaries. The trace
+    is the columnar twin of the scalar YCSB-B stream, driving the
+    block lane's lean short-segment walk.
     """
     pages = max(64, int(3000 * scale))
     ops = max(256, int(30_000 * scale))
@@ -185,7 +190,7 @@ def _oltp_builder(scale: float) -> tuple[ScaleUpEngine, list]:
     engine.warm_with(ycsb_trace(YCSBConfig(
         mix="C", num_pages=pages, num_ops=min(ops, 4 * pages), seed=7,
     )))
-    trace = list(ycsb_trace(YCSBConfig(
+    trace = list(ycsb_blocks(YCSBConfig(
         mix="B", num_pages=pages, num_ops=ops, seed=11,
     )))
     return engine, trace
@@ -435,13 +440,13 @@ MICROBENCHES: dict[str, BenchSpec] = {
     "scan": BenchSpec(
         name="scan",
         description="sequential scan, warm CXL-resident table (hit path)",
-        min_speedup=3.0,
+        min_speedup=10.0,
         runner=_engine_runner(_scan_builder, "scan"),
     ),
     "oltp": BenchSpec(
         name="oltp",
         description="zipfian YCSB-B point traffic, DRAM+CXL with live placement",
-        min_speedup=1.5,
+        min_speedup=5.0,
         runner=_engine_runner(_oltp_builder, "oltp"),
     ),
     "htap": BenchSpec(
@@ -455,7 +460,7 @@ MICROBENCHES: dict[str, BenchSpec] = {
         name="htap-blocks",
         description="per-op alternating OLTP/scan mix, columnar blocks"
                     " (coalescer worst case, block path)",
-        min_speedup=2.0,
+        min_speedup=5.0,
         runner=_engine_runner(_htap_blocks_builder, "htap-blocks"),
     ),
     "scan-contended": BenchSpec(

@@ -13,10 +13,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from ..errors import ReproError
 from .bench import MICROBENCHES
-from .history import BENCH_DIR, collect_history, format_history
+from .history import (
+    BENCH_DIR,
+    check_targets,
+    collect_history,
+    format_history,
+    load_targets,
+)
 from .runner import (
     BENCH_BASELINE_PATH,
     DEFAULT_TOLERANCE,
@@ -75,11 +82,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--history", action="store_true",
         help="print the speedup trajectory across committed"
              f" {BENCH_DIR}/BENCH_PR*.json baselines (regressions"
-             " listed before wins) instead of running benches",
+             " listed before wins) instead of running benches, and"
+             " gate it against <bench-dir>/TARGETS.json when present"
+             " (per-bench floors, geomean target, regression ratchet);"
+             " non-zero exit on a target failure",
     )
     parser.add_argument(
         "--bench-dir", metavar="DIR", default=str(BENCH_DIR),
         help="baseline directory for --history",
+    )
+    parser.add_argument(
+        "--targets", metavar="PATH",
+        help="targets file for the --history gate (default:"
+             " <bench-dir>/TARGETS.json; gate is skipped when the"
+             " default is absent)",
     )
     return parser
 
@@ -109,10 +125,25 @@ def perfbench_main(argv: list[str]) -> int:
     if args.history:
         try:
             history = collect_history(args.bench_dir)
+            if args.targets:
+                targets = load_targets(args.targets)
+                if targets is None:
+                    raise ReproError(
+                        f"targets file not found at {args.targets}"
+                    )
+            else:
+                targets = load_targets(Path(args.bench_dir) / "TARGETS.json")
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(format_history(history))
+        if targets is not None:
+            failures = check_targets(history, targets)
+            if failures:
+                for failure in failures:
+                    print(f"PERF TARGET FAIL: {failure}", file=sys.stderr)
+                return 1
+            print("perf targets gate: PASS", file=sys.stderr)
         return 0
     benches = None
     if args.benches:

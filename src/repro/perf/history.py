@@ -9,11 +9,19 @@ comparable — unlike the raw wall-clock numbers, which the table omits.
 The summary lists regressions (a bench slower in the newest baseline
 that records it than in the previous one) *before* wins, so a drop is
 the first thing a reader sees.
+
+When ``results/bench/TARGETS.json`` exists, ``--history`` also *gates*
+the trajectory against it (:func:`check_targets`): per-bench speedup
+floors, a geometric-mean target over the latest baseline, and a
+zero-regression ratchet (latest >= previous * regression_factor per
+bench). The gate runs over committed numbers only — no benches are
+re-run — so it is deterministic and safe for CI.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -23,6 +31,9 @@ from .runner import SCHEMA
 
 BENCH_DIR = Path("results/bench")
 _BASELINE_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+TARGETS_PATH = BENCH_DIR / "TARGETS.json"
+TARGETS_SCHEMA = "repro.perfbench-targets/v1"
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,6 +141,81 @@ def collect_history(bench_dir: Path | str = BENCH_DIR) -> PerfHistory:
         trends=tuple(trends),
         skipped=tuple(skipped),
     )
+
+
+def load_targets(path: Path | str = TARGETS_PATH) -> dict | None:
+    """Load the perf targets file, or None when it does not exist.
+
+    Raises :class:`ConfigError` when the file exists but is unreadable
+    or carries the wrong schema — a present-but-broken targets file
+    must fail the gate, not silently disable it.
+    """
+    targets_path = Path(path)
+    if not targets_path.exists():
+        return None
+    try:
+        data = json.loads(targets_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"unreadable targets file {targets_path}: {exc}")
+    if data.get("schema") != TARGETS_SCHEMA:
+        raise ConfigError(
+            f"targets file {targets_path} has schema"
+            f" {data.get('schema')!r}, expected {TARGETS_SCHEMA!r}"
+        )
+    return data
+
+
+def check_targets(history: PerfHistory, targets: dict) -> list[str]:
+    """Gate the committed trajectory against *targets*; return failures.
+
+    Three rules, all over committed baseline numbers (the exact metric
+    definitions live next to the numbers in TARGETS.json):
+
+    * every bench named in ``per_bench_floor`` that the latest baseline
+      records must meet its floor there;
+    * the geometric mean of every speedup in the latest baseline must
+      be >= ``geomean_min``;
+    * for every bench with at least two recordings,
+      ``latest >= previous * regression_factor``.
+    """
+    failures: list[str] = []
+    floors = targets.get("per_bench_floor", {})
+    factor = targets.get("regression_factor")
+    latest_pr = history.pr_numbers[-1] if history.pr_numbers else None
+    latest: list[float] = []
+    for trend in history.trends:
+        if trend.points[-1][0] != latest_pr:
+            # Not recorded by the newest baseline: the targets rules
+            # are defined over the latest recording set only.
+            continue
+        value = trend.latest
+        latest.append(value)
+        floor = floors.get(trend.name)
+        if floor is not None and value < floor:
+            failures.append(
+                f"{trend.name}: latest speedup {value:.2f}x below"
+                f" target floor {floor:.2f}x"
+            )
+        if factor is not None and len(trend.points) >= 2:
+            prev_pr, prev = trend.points[-2]
+            required = prev * factor
+            if value < required:
+                failures.append(
+                    f"{trend.name}: latest speedup {value:.2f}x <"
+                    f" {required:.2f}x ({prev:.2f}x at PR{prev_pr}"
+                    f" * regression factor {factor})"
+                )
+    geomean_min = targets.get("geomean_min")
+    if geomean_min is not None and latest:
+        geomean = math.exp(
+            sum(math.log(value) for value in latest) / len(latest)
+        )
+        if geomean < geomean_min:
+            failures.append(
+                f"geomean of latest speedups {geomean:.2f}x below"
+                f" target {geomean_min:.2f}x"
+            )
+    return failures
 
 
 def format_history(history: PerfHistory) -> str:

@@ -235,15 +235,19 @@ class ShapeSegments:
     sharing one shape (size, read/write, scan flag, think time) as
     ``(page_ids, nbytes, write, is_scan, think_ns, count)`` — exactly
     the signature of the pool's batched lane — or ``None`` once the
-    trace is exhausted.
+    trace is exhausted. ``page_ids`` is a plain list for coalesced
+    scalar deliveries and an int64 ndarray slice for block-native
+    runs (the shape values are Python scalars either way); the pool's
+    ``access_run`` consumes the ndarray form directly.
 
     Blocks are consumed natively: one vectorised
-    :meth:`AccessBlock.segment_bounds` scan per block, columns
-    materialised to plain lists once. Scalar accesses are coalesced
-    with the same peek logic as the engine's inline coalescer, and a
-    block arriving mid-run flushes the scalar run first (the block is
-    served from the next call). Either delivery form yields runs that
-    concatenate to the elementwise-identical access sequence.
+    :meth:`AccessBlock.segment_bounds` scan per block, shape columns
+    materialised to plain lists once, the id column handed out as
+    zero-copy views. Scalar accesses are coalesced with the same peek
+    logic as the engine's inline coalescer, and a block arriving
+    mid-run flushes the scalar run first (the block is served from
+    the next call). Either delivery form yields runs that concatenate
+    to the elementwise-identical access sequence.
     """
 
     __slots__ = ("_iterator", "_pending", "_ids", "_sizes", "_writes",
@@ -253,7 +257,7 @@ class ShapeSegments:
     def __init__(self, trace) -> None:
         self._iterator = iter(trace)
         self._pending: Access | None = None
-        self._ids: list[int] | None = None
+        self._ids: np.ndarray | None = None
         self._sizes: list[int] | None = None
         self._writes: list[bool] | None = None
         self._scans: list[bool] | None = None
@@ -264,7 +268,11 @@ class ShapeSegments:
         self._done = False
 
     def _load_block(self, block: AccessBlock) -> None:
-        self._ids = block.page_id.tolist()
+        # The id column stays an ndarray: block runs are served as
+        # zero-copy slices, which the pool's block lane consumes
+        # without ever materialising a Python list. Shape columns are
+        # indexed once per segment, so plain lists are cheapest.
+        self._ids = block.page_id
         self._sizes = block.nbytes.tolist()
         self._writes = block.write.tolist()
         self._scans = block.is_scan.tolist()

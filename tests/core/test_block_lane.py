@@ -1,0 +1,385 @@
+"""The block-native buffer pool lane: identity and residency table.
+
+``TieredBufferPool.access_block`` resolves whole ``AccessBlock``
+columns in numpy array ops against a dense residency table. These
+tests pin the two contracts that lane must keep:
+
+* **bit-identity** — any mix of scalar ``Access`` objects and
+  ``AccessBlock`` chunks, on either lane, produces byte-identical
+  simulated results (same perfbench digest) across MIN_BATCH_RUN
+  boundaries, mid-run migrations, faults raised inside blocks, and
+  concurrent-session contention;
+* **residency-table consistency** — the dense table and the
+  insertion-order index (``resident_ids_in`` / ``resident_in``) always
+  agree with the frame map after evictions, migrations, ``drop_all``
+  and ``resize_tier``.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.core.buffer import (
+    MIN_BATCH_RUN,
+    VEC_SEG,
+    Tier,
+    TieredBufferPool,
+)
+from repro.core.engine import ScaleUpEngine
+from repro.core.placement import DbCostPolicy, OSPagingPolicy
+from repro.perf.bench import _digest_report
+from repro.sim.context import SimContext
+from repro.sim.interconnect import AccessPath
+from repro.sim.ladder import chain_values
+from repro.sim.memory import MemoryDevice
+from repro.workloads.scans import mixed_htap_blocks, mixed_htap_trace
+from repro.workloads.traces import Access, AccessBlock
+
+
+def fingerprint(trace, fast, *, dram=256, cxl=900, placement=None,
+                with_storage=True):
+    """Run *trace* on a fresh engine; digest every simulated quantity."""
+    engine = ScaleUpEngine.build(
+        dram_pages=dram, cxl_pages=cxl, placement=placement,
+        with_storage=with_storage, name="block-lane-test",
+        ctx=SimContext(),
+    )
+    engine.pool.set_fast_lane(fast)
+    report = engine.run(trace)
+    return _digest_report(engine, report), report
+
+
+def random_trace(seed, ops=4_000, pages=700):
+    """A run-structured random trace: shapes repeat for random run
+    lengths so the coalescer sees runs on both sides of
+    MIN_BATCH_RUN, then change so segments stay short enough to
+    exercise the per-access walk as well as the vector lane."""
+    rng = random.Random(seed)
+    out = []
+    while len(out) < ops:
+        run = rng.choice([1, 2, MIN_BATCH_RUN, MIN_BATCH_RUN + 1, 8, 40])
+        write = rng.random() < 0.25
+        is_scan = rng.random() < 0.3
+        nbytes = 4096 if is_scan else 64
+        think = rng.choice([0.0, 50.0])
+        base = rng.randrange(pages)
+        for i in range(run):
+            out.append(Access(
+                page_id=(base + i) % pages, write=write,
+                is_scan=is_scan, nbytes=nbytes, think_ns=think,
+            ))
+    return out[:ops]
+
+
+def random_mix(scalar, seed):
+    """Randomly repackage a scalar trace into interleaved scalar
+    stretches and AccessBlock chunks (lossless)."""
+    rng = random.Random(seed)
+    mixed = []
+    i = 0
+    while i < len(scalar):
+        chunk = min(rng.randrange(1, 600), len(scalar) - i)
+        part = scalar[i:i + chunk]
+        if rng.random() < 0.5:
+            mixed.append(AccessBlock.from_accesses(part))
+        else:
+            mixed.extend(part)
+        i += chunk
+    return mixed
+
+
+class TestRandomizedMixedIdentity:
+    """Random traces, random block boundaries, both lanes: one digest."""
+
+    @pytest.mark.parametrize("seed", [0, 17, 91])
+    def test_mixed_delivery_and_lanes_agree(self, seed):
+        scalar = random_trace(seed)
+        mixed = random_mix(scalar, seed + 1)
+        ref, _ = fingerprint(scalar, False)
+        for fast in (False, True):
+            got, _ = fingerprint(mixed, fast)
+            assert got == ref, f"lane fast={fast} diverged (seed {seed})"
+
+    def test_min_batch_run_boundaries(self):
+        # Runs of exactly MIN_BATCH_RUN-1 / MIN_BATCH_RUN /
+        # MIN_BATCH_RUN+1 repeated accesses: the batch threshold must
+        # not change the physics, only the code path.
+        trace = []
+        for rep in (MIN_BATCH_RUN - 1, MIN_BATCH_RUN, MIN_BATCH_RUN + 1):
+            for page in range(0, 300, 7):
+                trace.extend(
+                    Access(page_id=page, nbytes=64)
+                    for _ in range(rep)
+                )
+        block = [AccessBlock.from_accesses(trace)]
+        ref, _ = fingerprint(trace, False)
+        for fast in (False, True):
+            got, _ = fingerprint(block, fast)
+            assert got == ref
+
+    def test_mid_run_migrations(self):
+        # A tiny rebalance interval forces placement migrations while
+        # block runs are in flight; the lanes must still agree and the
+        # run must actually migrate (otherwise the test is vacuous).
+        htap = dict(oltp_pages=200, olap_pages=500, oltp_ops=2_000,
+                    olap_repeats=2, oltp_per_olap=1, seed=5)
+        policy = lambda: DbCostPolicy(rebalance_interval=64)  # noqa: E731
+        slow, rep_slow = fingerprint(
+            mixed_htap_blocks(**htap), False, placement=policy())
+        fast, rep_fast = fingerprint(
+            mixed_htap_blocks(**htap), True, placement=policy())
+        assert rep_fast.migrations > 0
+        assert fast == slow
+
+    def test_faults_inside_blocks(self):
+        # Capacities far below the working set: most block rows fault
+        # and evict. Identity must hold down to backing-store stats.
+        trace = list(mixed_htap_trace(
+            oltp_pages=150, olap_pages=400, oltp_ops=1_200, seed=13))
+        blocks = [AccessBlock.from_accesses(trace)]
+        ref, rep = fingerprint(trace, False, dram=32, cxl=64)
+        assert rep.misses > len(trace) // 4
+        for fast in (False, True):
+            got, _ = fingerprint(blocks, fast, dram=32, cxl=64)
+            assert got == ref
+
+    def test_block_walk_route(self):
+        # OSPagingPolicy's placement note is not content-blind, so
+        # the fast lane must take the per-access _block_walk route
+        # rather than the integer-exact _block_exact lane — and still
+        # match the scalar replay bit for bit.
+        trace = list(mixed_htap_trace(
+            oltp_pages=200, olap_pages=400, oltp_ops=1_500, seed=7))
+        blocks = [AccessBlock.from_accesses(trace)]
+        engine = ScaleUpEngine.build(
+            dram_pages=256, cxl_pages=900,
+            placement=OSPagingPolicy(), name="walk-route",
+            ctx=SimContext(),
+        )
+        note = engine.pool._placement_note
+        assert not getattr(note, "content_blind", False)
+        ref, _ = fingerprint(trace, False, placement=OSPagingPolicy())
+        got, _ = fingerprint(blocks, True, placement=OSPagingPolicy())
+        assert got == ref
+
+
+class TestSessionContention:
+    """access_run under concurrent sessions: lanes agree."""
+
+    def _engine(self, fast):
+        engine = ScaleUpEngine.build(
+            dram_pages=256, cxl_pages=2_000,
+            placement=DbCostPolicy(), with_storage=False,
+            name="contended", ctx=SimContext(),
+        )
+        engine.pool.set_fast_lane(fast)
+        return engine
+
+    def _digest(self, engine, report):
+        stats = engine.pool.stats
+        return (
+            tuple(sorted(
+                (sid, s.ops, repr(s.total_ns), repr(s.demand_ns),
+                 s.misses)
+                for sid, s in report.sessions.items()
+            )),
+            repr(engine.pool.clock.now),
+            repr(stats.demand_time_ns),
+            repr(stats.fault_time_ns),
+            stats.accesses, stats.misses, stats.migrations,
+        )
+
+    def test_contended_sessions_lane_identity(self):
+        htap = dict(oltp_pages=400, olap_pages=700, oltp_ops=2_500,
+                    seed=21)
+        digests = []
+        for fast in (False, True):
+            engine = self._engine(fast)
+            report = engine.run_sessions([
+                list(mixed_htap_trace(**htap)),
+                list(mixed_htap_blocks(**htap)),
+            ])
+            digests.append(self._digest(engine, report))
+        assert digests[0] == digests[1]
+
+    def test_access_run_matches_access_batch(self):
+        # access_run is the sessions' columnar entry point; on runs
+        # long enough for the vector setup it must charge exactly what
+        # access_batch charges for the same ids.
+        rng = random.Random(3)
+        ids = [rng.randrange(500) for _ in range(VEC_SEG * 4)]
+        engines = [self._engine(True) for _ in range(2)]
+        for engine in engines:
+            for page in range(500):
+                engine.pool.access(page)
+        got = engines[0].pool.access_run(
+            np.asarray(ids, dtype=np.int64), nbytes=64)
+        want = engines[1].pool.access_batch(ids, nbytes=64)
+        assert repr(got) == repr(want)
+        assert self._pool_digest(engines[0]) == \
+            self._pool_digest(engines[1])
+
+    @staticmethod
+    def _pool_digest(engine):
+        stats = engine.pool.stats
+        return (
+            repr(engine.pool.clock.now), repr(stats.demand_time_ns),
+            stats.accesses, stats.hits, stats.misses,
+            tuple(t.hits for t in stats.per_tier),
+        )
+
+
+def make_pool(dram=4, cxl=8):
+    tiers = [
+        Tier(name="dram",
+             path=AccessPath(device=MemoryDevice(config.local_ddr5())),
+             capacity_pages=dram),
+        Tier(name="cxl",
+             path=AccessPath(device=MemoryDevice(config.cxl_expander_ddr5())),
+             capacity_pages=cxl),
+    ]
+    return TieredBufferPool(
+        tiers=tiers, placement=DbCostPolicy(rebalance_interval=10_000),
+    )
+
+
+def assert_residency_consistent(pool):
+    """The dense residency table, the insertion-order index and the
+    frame map must tell the same story."""
+    seen = {}
+    for tier_index in range(len(pool.tiers)):
+        ids = pool.resident_ids_in(tier_index)
+        assert ids.dtype == np.int64
+        listed = list(pool.resident_in(tier_index))
+        assert listed == ids.tolist()
+        assert len(listed) == pool.tier_residents(tier_index)
+        for pid in listed:
+            assert pool.tier_of(pid) == tier_index
+            assert pid not in seen, "page resident in two tiers"
+            seen[pid] = tier_index
+    assert pool.resident_pages == len(seen)
+    assert set(seen) == set(pool._frames)
+    for pid, frame in pool._frames.items():
+        assert seen[pid] == frame.tier_index
+
+
+class TestResidencyTableConsistency:
+    def test_after_evictions(self):
+        pool = make_pool(dram=3, cxl=5)
+        for page in range(40):
+            pool.access(page)
+        assert pool.stats.misses == 40
+        assert_residency_consistent(pool)
+
+    def test_after_migrations(self):
+        pool = make_pool(dram=4, cxl=8)
+        for page in range(6):
+            pool.access(page)
+        for page in list(pool.resident_in(0)):
+            pool.migrate(page, 1)
+        assert pool.tier_residents(0) == 0
+        assert_residency_consistent(pool)
+        # And back again into the now-empty fast tier.
+        for page in list(pool.resident_in(1))[:3]:
+            pool.migrate(page, 0)
+        assert_residency_consistent(pool)
+
+    def test_after_drop_all(self):
+        pool = make_pool()
+        for page in range(10):
+            pool.access(page)
+        pool.drop_all()
+        assert pool.resident_pages == 0
+        assert_residency_consistent(pool)
+        # The table must come back clean for reuse.
+        for page in range(10, 16):
+            pool.access(page)
+        assert_residency_consistent(pool)
+
+    def test_after_resize_tier(self):
+        pool = make_pool(dram=6, cxl=8)
+        for page in range(12):
+            pool.access(page)
+        pool.resize_tier(0, 2)  # shrink: forces spill out of dram
+        assert pool.tier_residents(0) <= 2
+        assert_residency_consistent(pool)
+        pool.resize_tier(0, 10)  # grow back; nothing moves
+        assert_residency_consistent(pool)
+        for page in range(12, 24):
+            pool.access(page)
+        assert_residency_consistent(pool)
+
+    def test_block_lane_keeps_table_consistent(self):
+        engine = ScaleUpEngine.build(
+            dram_pages=32, cxl_pages=64, name="res-table",
+            ctx=SimContext(),
+        )
+        engine.pool.set_fast_lane(True)
+        trace = list(mixed_htap_trace(
+            oltp_pages=100, olap_pages=200, oltp_ops=800, seed=2))
+        engine.run([AccessBlock.from_accesses(trace)])
+        engine.pool.sync_frame_stats()
+        assert_residency_consistent(engine.pool)
+
+
+def scalar_chain(x, vals, cls):
+    """The reference semantics chain_values must reproduce exactly."""
+    out = []
+    for c in cls:
+        x = x + vals[c]
+        out.append(x)
+    return x, out
+
+
+class TestChainValues:
+    """The addition-chain kernel under the fast lane's float model."""
+
+    def test_random_chain_bit_identical(self):
+        rng = np.random.default_rng(5)
+        vals = np.array([0.0, 13.25, 250.0, 1e-9, np.nan])
+        cls = rng.integers(0, 4, size=5_000).astype(np.int64)
+        out = np.empty(cls.shape[0])
+        x = chain_values(100.0, vals, cls, out)
+        want_x, want_out = scalar_chain(100.0, vals.tolist(), cls)
+        assert repr(x) == repr(want_x)
+        assert out.tolist() == want_out
+
+    def test_scalar_step_fallback_from_zero(self):
+        # x == 0.0 has no binade: every step until x grows must take
+        # the scalar-fallback path, including the zero-delta class
+        # that keeps x pinned at 0.0.
+        vals = np.array([0.0, 1e-300, 2.5])
+        cls = np.array([0, 0, 1, 0, 1, 2, 0, 2, 1], dtype=np.int64)
+        out = np.empty(cls.shape[0])
+        x = chain_values(0.0, vals, cls, out)
+        want_x, want_out = scalar_chain(0.0, vals.tolist(), cls)
+        assert repr(x) == repr(want_x)
+        assert out.tolist() == want_out
+
+    def test_exact_half_tie_rounds_by_parity(self):
+        # x in [1, 2) has ulp 2^-52; a delta of exactly 1.5 ulp makes
+        # every addition an exact-half tie, which IEEE resolves by
+        # mantissa parity — a value-dependent bit the vector lane must
+        # hand to the scalar step.
+        tie = math.ldexp(3.0, -53)
+        vals = np.array([tie, math.ldexp(1.0, -52)])
+        cls = np.array([0, 1] * 200, dtype=np.int64)
+        out = np.empty(cls.shape[0])
+        x = chain_values(1.0, vals, cls, out)
+        want_x, want_out = scalar_chain(1.0, vals.tolist(), cls)
+        assert repr(x) == repr(want_x)
+        assert out.tolist() == want_out
+
+    def test_binade_crossing(self):
+        # Deltas large enough to push x across power-of-two boundaries
+        # repeatedly; each crossing restarts the integer stretch.
+        vals = np.array([0.75])
+        cls = np.zeros(64, dtype=np.int64)
+        out = np.empty(64)
+        x = chain_values(1.0, vals, cls, out)
+        want_x, want_out = scalar_chain(1.0, vals.tolist(), cls)
+        assert repr(x) == repr(want_x)
+        assert out.tolist() == want_out

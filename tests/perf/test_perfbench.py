@@ -22,6 +22,14 @@ from repro.perf import (
     write_report,
 )
 from repro.perf.cli import perfbench_main
+from repro.perf.history import (
+    TARGETS_SCHEMA,
+    BenchTrend,
+    PerfHistory,
+    check_targets,
+    collect_history,
+    load_targets,
+)
 from repro.perf.runner import SCHEMA
 
 SCALE = 0.02
@@ -118,6 +126,116 @@ def test_load_baseline_rejects_missing_and_bad_schema(tmp_path):
     bad.write_text(json.dumps({"schema": "other/v0"}))
     with pytest.raises(ConfigError):
         load_baseline(bad)
+
+
+def _history(points_by_bench, pr_numbers=(7, 8)):
+    trends = tuple(
+        BenchTrend(name=name, points=tuple(points))
+        for name, points in points_by_bench.items()
+    )
+    return PerfHistory(pr_numbers=tuple(pr_numbers), trends=trends)
+
+
+class TestTargetsGate:
+    """The --history trajectory gate: floors, geomean, ratchet."""
+
+    def test_passes_when_targets_met(self):
+        history = _history({
+            "scan": [(7, 4.0), (8, 11.0)],
+            "oltp": [(7, 2.0), (8, 6.0)],
+        })
+        targets = {
+            "per_bench_floor": {"scan": 10.0, "oltp": 5.0},
+            "geomean_min": 6.0,
+            "regression_factor": 0.75,
+        }
+        assert check_targets(history, targets) == []
+
+    def test_flags_floor_breach(self):
+        history = _history({"scan": [(8, 9.5)]}, pr_numbers=(8,))
+        failures = check_targets(
+            history, {"per_bench_floor": {"scan": 10.0}})
+        assert any("target floor" in f for f in failures)
+
+    def test_flags_geomean_breach(self):
+        history = _history({
+            "scan": [(8, 2.0)], "oltp": [(8, 2.0)],
+        }, pr_numbers=(8,))
+        failures = check_targets(history, {"geomean_min": 3.0})
+        assert any("geomean" in f for f in failures)
+
+    def test_flags_regression_ratchet(self):
+        history = _history({"scan": [(7, 10.0), (8, 7.0)]})
+        failures = check_targets(
+            history, {"regression_factor": 0.75})
+        assert any("regression factor" in f for f in failures)
+        # 7.5 is exactly prev * factor: allowed.
+        ok = _history({"scan": [(7, 10.0), (8, 7.5)]})
+        assert check_targets(ok, {"regression_factor": 0.75}) == []
+
+    def test_ignores_benches_dropped_from_latest_baseline(self):
+        # A bench last recorded by an older PR is outside the latest
+        # recording set; its stale number must not trip any rule.
+        history = _history({
+            "scan": [(7, 4.0), (8, 11.0)],
+            "retired": [(7, 1.2)],
+        })
+        targets = {
+            "per_bench_floor": {"scan": 10.0, "retired": 50.0},
+            "geomean_min": 10.0,
+            "regression_factor": 0.75,
+        }
+        assert check_targets(history, targets) == []
+
+    def test_load_targets_absent_is_none(self, tmp_path):
+        assert load_targets(tmp_path / "TARGETS.json") is None
+
+    def test_load_targets_broken_raises(self, tmp_path):
+        bad = tmp_path / "TARGETS.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_targets(bad)
+        bad.write_text(json.dumps({"schema": "other/v0"}))
+        with pytest.raises(ConfigError):
+            load_targets(bad)
+
+    def test_committed_targets_pass_committed_history(self):
+        # The actual repo state: the committed baselines must satisfy
+        # the committed targets, or CI is red on merge.
+        history = collect_history("results/bench")
+        targets = load_targets("results/bench/TARGETS.json")
+        assert targets is not None
+        assert targets["schema"] == TARGETS_SCHEMA
+        assert check_targets(history, targets) == []
+
+    def test_cli_history_gate(self, tmp_path, capsys):
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        report = _small_report()
+        report["benches"]["scan"]["speedup"] = 11.0
+        (bench_dir / "BENCH_PR8.json").write_text(json.dumps(report))
+        (bench_dir / "TARGETS.json").write_text(json.dumps({
+            "schema": TARGETS_SCHEMA,
+            "per_bench_floor": {"scan": 10.0},
+        }))
+        assert perfbench_main(
+            ["--history", "--bench-dir", str(bench_dir)]) == 0
+        assert "perf targets gate: PASS" in capsys.readouterr().err
+        report["benches"]["scan"]["speedup"] = 1.0
+        (bench_dir / "BENCH_PR8.json").write_text(json.dumps(report))
+        assert perfbench_main(
+            ["--history", "--bench-dir", str(bench_dir)]) == 1
+        assert "PERF TARGET FAIL" in capsys.readouterr().err
+
+    def test_cli_explicit_targets_must_exist(self, tmp_path):
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        (bench_dir / "BENCH_PR8.json").write_text(
+            json.dumps(_small_report()))
+        assert perfbench_main([
+            "--history", "--bench-dir", str(bench_dir),
+            "--targets", str(tmp_path / "nope.json"),
+        ]) == 2
 
 
 def test_cli_writes_report_and_checks(tmp_path, capsys):

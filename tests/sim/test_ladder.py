@@ -1,0 +1,192 @@
+"""Bit-identity fuzz for the exact repeated-addition ladders."""
+
+from __future__ import annotations
+
+import math
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro.sim.ladder import chain_repeat, repeat_add, repeat_add_vec
+
+
+def bits(x: float) -> bytes:
+    return struct.pack("<d", x)
+
+
+def scalar_repeat(x: float, d: float, n: int) -> float:
+    for _ in range(n):
+        x = x + d
+    return x
+
+
+def scalar_chain(x, deltas, n, mid_index):
+    mids = []
+    for _ in range(n):
+        for j, d in enumerate(deltas):
+            if j == mid_index:
+                mids.append(x)
+            x = x + d
+        if mid_index == len(deltas):
+            mids.append(x)
+    return x, mids
+
+
+NS = [0, 1, 2, 3, 7, 31, 32, 33, 100, 1000, 12345]
+
+
+def check(x, d, n):
+    got = repeat_add(x, d, n)
+    want = scalar_repeat(x, d, n)
+    assert bits(got) == bits(want), (x, d, n, got, want)
+
+
+def test_repeat_add_random_same_sign():
+    rng = random.Random(1234)
+    for _ in range(300):
+        x = rng.uniform(0, 1) * 10.0 ** rng.randint(-3, 12)
+        d = rng.uniform(0, 1) * 10.0 ** rng.randint(-6, 6)
+        n = rng.choice(NS)
+        check(x, d, n)
+        check(-x, -d, n)
+
+
+def test_repeat_add_extreme_magnitudes():
+    rng = random.Random(99)
+    for _ in range(200):
+        x = rng.uniform(0.5, 2.0) * 2.0 ** rng.randint(-1070, 1000)
+        d = rng.uniform(0.5, 2.0) * 2.0 ** rng.randint(-1074, 990)
+        check(x, d, rng.choice(NS))
+
+
+def test_repeat_add_exact_ties():
+    rng = random.Random(7)
+    for _ in range(200):
+        x = rng.uniform(1.0, 2.0) * 2.0 ** rng.randint(-30, 40)
+        u = math.ulp(x)
+        q = rng.randint(0, 9)
+        d = (q + 0.5) * u          # exact tie every step
+        check(x, d, rng.choice(NS))
+        check(x, 0.5 * u, 10000)   # steady-zero tie: absorbs after parity fix
+
+
+def test_repeat_add_absorption_and_binade_edges():
+    for x in [1.0, 1.5, 2.0 - math.ulp(1.0), 2.0, 3.0, 2.0 ** 52]:
+        u = math.ulp(x)
+        check(x, 0.25 * u, 5000)          # rounds down forever: absorbed
+        check(x, 0.75 * u, 5000)          # rounds up every step
+        check(x, u, 5000)
+        check(x, 1000.5 * u, 5000)
+    # walk across many binades
+    check(1.0, 0.3, 100000)
+    check(0.0, 1e-3, 100000)
+    check(5e-324, 5e-324, 100000)
+
+
+def test_repeat_add_special_values():
+    check(1.0, 0.0, 7)
+    check(-0.0, 0.0, 7)
+    check(0.0, 1.5, 7)
+    check(-0.0, 1.5, 7)
+    for n in [0, 1, 2, 5]:
+        for x, d in [(math.inf, 1.0), (1.0, math.inf), (-math.inf, 1.0),
+                     (1.0, -math.inf)]:
+            assert bits(repeat_add(x, d, n)) == bits(scalar_repeat(x, d, n))
+    assert math.isnan(repeat_add(math.nan, 1.0, 3))
+    assert math.isnan(repeat_add(1.0, math.nan, 3))
+
+
+def test_repeat_add_mixed_signs():
+    rng = random.Random(5)
+    for _ in range(100):
+        x = rng.uniform(-10, 10)
+        d = rng.uniform(-1, 1)
+        check(x, d, rng.randint(0, 200))
+
+
+def test_chain_repeat_matches_scalar():
+    rng = random.Random(42)
+    for _ in range(150):
+        x = rng.uniform(0, 1) * 10.0 ** rng.randint(0, 10)
+        nd = rng.randint(1, 3)
+        deltas = tuple(rng.uniform(0, 1) * 10.0 ** rng.randint(-2, 4)
+                       for _ in range(nd))
+        if any(d == 0.0 for d in deltas):
+            continue
+        n = rng.choice(NS)
+        mid = rng.randint(0, nd)
+        got_x, got_mids = chain_repeat(x, deltas, n, mid)
+        want_x, want_mids = scalar_chain(x, deltas, n, mid)
+        assert bits(got_x) == bits(want_x)
+        assert len(got_mids) == len(want_mids)
+        for a, b in zip(got_mids, want_mids):
+            assert bits(a) == bits(b), (x, deltas, n, mid)
+        assert all(isinstance(v, float) for v in got_mids)
+
+
+def test_chain_repeat_tie_cycles():
+    x = 3.0
+    u = math.ulp(x)
+    for deltas in [(2.5 * u, 1.0 * u), (0.5 * u,), (1.5 * u, 0.5 * u),
+                   (3.5 * u, 2.5 * u, 1.5 * u)]:
+        got_x, got_mids = chain_repeat(x, deltas, 4000, 1 % len(deltas))
+        want_x, want_mids = scalar_chain(x, deltas, 4000, 1 % len(deltas))
+        assert bits(got_x) == bits(want_x)
+        assert [bits(a) for a in got_mids] == [bits(b) for b in want_mids]
+
+
+def test_chain_repeat_typical_sim_deltas():
+    # think/latency shapes the block lane actually produces
+    got_x, got_mids = chain_repeat(1_000_000.0, (50.0, 1361.328125), 4096, 1)
+    want_x, want_mids = scalar_chain(1_000_000.0, (50.0, 1361.328125), 4096, 1)
+    assert bits(got_x) == bits(want_x)
+    assert [bits(a) for a in got_mids] == [bits(b) for b in want_mids]
+    got_x, got_mids = chain_repeat(7.3e9, (333.33333333333,), 4096, 0)
+    want_x, want_mids = scalar_chain(7.3e9, (333.33333333333,), 4096, 0)
+    assert bits(got_x) == bits(want_x)
+    assert [bits(a) for a in got_mids] == [bits(b) for b in want_mids]
+
+
+def test_repeat_add_vec_matches_scalar():
+    rng = random.Random(2026)
+    for _ in range(40):
+        size = rng.randint(1, 64)
+        heat = np.array([rng.uniform(0, 1) * 10.0 ** rng.randint(-6, 6)
+                         for _ in range(size)])
+        counts = np.array([rng.choice([0, 1, 2, 3, 17, 400])
+                           for _ in range(size)], dtype=np.int64)
+        if rng.random() < 0.5:
+            w = rng.choice([1.0, 0.1, 0.35, 2.5])
+            want = np.array([scalar_repeat(h, w, int(c))
+                             for h, c in zip(heat, counts)])
+        else:
+            w = np.array([rng.choice([1.0, 0.1, 0.0, 3.7])
+                          for _ in range(size)])
+            want = np.array([scalar_repeat(h, wi, int(c))
+                             for h, wi, c in zip(heat, w, counts)])
+        got = heat.copy()
+        repeat_add_vec(got, w, counts.copy())
+        assert got.tobytes() == want.tobytes()
+
+
+def test_repeat_add_vec_ties_and_absorption():
+    base = np.array([3.0, 5.0, 1.0, 2.0 ** 52, 0.0, 7.0])
+    u = np.array([math.ulp(v) for v in base])
+    for mult in [0.25, 0.5, 1.5, 1000.5]:
+        w = u * mult
+        counts = np.full(base.shape, 3000, dtype=np.int64)
+        want = np.array([scalar_repeat(h, wi, 3000)
+                         for h, wi in zip(base, w)])
+        got = base.copy()
+        repeat_add_vec(got, w, counts)
+        assert got.tobytes() == want.tobytes()
+    # huge ratio guard path (w/ulp(heat) >= 2**62)
+    heat = np.array([5e-324, 0.0, 1e-300])
+    w = np.array([1.0, 2.5, 1e10])
+    counts = np.array([5, 5, 5], dtype=np.int64)
+    want = np.array([scalar_repeat(h, wi, 5) for h, wi in zip(heat, w)])
+    got = heat.copy()
+    repeat_add_vec(got, w, counts)
+    assert got.tobytes() == want.tobytes()
