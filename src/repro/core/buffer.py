@@ -58,6 +58,7 @@ byte-identical to the single-stream lanes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -68,7 +69,8 @@ from ..sim.bandwidth import WaitQueue
 from ..sim.clock import SimClock
 from ..sim.context import SimContext
 from ..sim.interconnect import AccessPath, PathTiming
-from ..sim.ladder import chain_repeat, chain_values, repeat_add
+from ..sim.ladder import (chain_repeat, chain_repeat_arr, chain_values,
+                          repeat_add)
 from ..storage.file import PageFile
 from ..storage.page import Page, PageId
 from ..units import CACHE_LINE
@@ -128,6 +130,16 @@ VEC_SEG = 96
 #: Minimum remaining segment length worth a repeated-addition ladder;
 #: below it a plain scalar mini-loop is cheaper than the ladder setup.
 _LADDER_MIN = 32
+
+#: Minimum run length :meth:`access_run` sends through the vectorised
+#: span — every non-empty run. A run arriving as an ndarray already
+#: paid columnarisation, and routing it through the batched lane would
+#: both walk it scalar *and* force a deferred-bookkeeping drain inside
+#: the session's hot path (the batched lane may evict, so it must
+#: observe fully materialised state). Even single-access runs (the
+#: write boundaries that pepper OLTP traffic) stay on the
+#: deferral-friendly span this way.
+_RUN_MIN = 1
 
 #: 2**53 — every integer below this is exactly representable in a
 #: float64, so addition chains of whole-nanosecond quantities that stay
@@ -287,6 +299,9 @@ class TieredBufferPool:
         # per-(nbytes, write, is_scan) hit latencies for every tier at
         # once; both are derived state, never authoritative.
         self._res_tier = np.full(0, -1, dtype=np.int16)
+        # Backing id array whose whole range already passed the run
+        # guard (see access_run) — slices of it skip min/max/grow.
+        self._span_base: np.ndarray | None = None
         self._lat_cache: dict[tuple[int, bool, bool],
                               list[float | None]] = {}
         self._tierless_mask = np.array(
@@ -315,6 +330,15 @@ class TieredBufferPool:
         # semantics discard a frame's stats with the frame.
         self._pend_acc = np.zeros(0, dtype=np.int64)
         self._pend_ts = np.zeros(0, dtype=np.float64)
+        # Deferred bookkeeping records from the vectorised run lane:
+        # replacement-recency touches, tracker feeds, and (for pure
+        # single-delta segments) the per-access mid timestamps. Each
+        # record replays exactly the work the eager code would have
+        # done, in the order it would have done it; _drain_lazy() runs
+        # before anything that could read or mutate the structures the
+        # records touch (scalar accesses, eviction/migration entry
+        # points, snapshots), so no reader can observe the deferral.
+        self._lazy_runs: list[tuple] = []
         # Conservative pid-indexed mirror of Frame.dirty: True only if
         # the frame is known dirty, so the block lane latches (and
         # walks python frames for) each page at most once. False for a
@@ -486,6 +510,155 @@ class TieredBufferPool:
                 frames[pid].dirty = True
             mirror[ids] = True
 
+    def _drain_lazy(self) -> None:
+        """Replay deferred run-lane bookkeeping records in order.
+
+        Three record kinds, appended by :meth:`_run_span`:
+
+        * ``("run", ids, s, e, tier, now0, lat, think, post, write)``
+          — a deferred segment (pure, or short and think-bearing):
+          recompute the per-access mid timestamps with
+          :func:`chain_repeat_arr` (the identical float sequence the
+          scalar chain produced), scatter them into the pending
+          frame-stat arrays, latch dirty bits, and touch replacement
+          recency for the whole segment;
+        * ``("lru", seq, s, e, tier)`` — recency touches for a segment
+          whose timestamps were materialised eagerly;
+        * ``("trk", ids, s, e, is_scan)`` — a window's temperature
+          feed.
+
+        Replaying in append order reproduces the eager structure
+        mutations exactly: recency order, tracker decay epochs, and
+        pending-array contents are bit-identical because every record
+        re-runs the same operations on the same operands.
+
+        Two exact coalescing rules keep the replay vectorised even
+        when the run lane produced many short records (OLTP traffic
+        cuts runs every few accesses at write boundaries):
+
+        * adjacent records whose *policy touches* continue one span
+          (same policy, same id array, ``prev_e == next_s``) fold into
+          one ``record_access_batch`` — the touch sequence is
+          literally the same key order;
+        * ``"trk"`` records are dispatched after the loop, merged the
+          same way. The tracker is touched by no other record kind and
+          read by none of them, so only trk-vs-trk order matters, and
+          that subsequence order (with exact per-index aging inside
+          ``record_block``) is preserved.
+        """
+        pending = self._lazy_runs
+        if not pending:
+            return
+        # Copy-and-clear in place: _run_span holds the list as a local
+        # across scalar boundary accesses (which drain), so the object
+        # identity must survive the drain.
+        lazy = pending[:]
+        pending.clear()
+        frames_get = self._frames.get
+        tiers = self.tiers
+        tracker_block = getattr(self.tracker, "record_block", None)
+        tracker_batch = self._tracker_batch
+        pend_acc = self._pend_acc
+        pend_ts = self._pend_ts
+        scan_true = scan_false = None
+        # Buffered policy touch: (policy, seq, start, end) of the span
+        # being extended, flushed when the next touch doesn't continue
+        # it. Frame/pend writes land inline — they share no structure
+        # with the recency order, so holding the touch back is unseen.
+        pol = None
+        pol_seq = None
+        pol_s = pol_e = 0
+        trk: list[list] = []
+        for rec in lazy:
+            tag = rec[0]
+            if tag == "run":
+                (_, ids, s, e, tier_index, now0, lat, think, post,
+                 write) = rec
+                seg = ids[s + 1:e]
+                rem = e - s - 1
+                if think:
+                    deltas = ((think, lat, post) if post
+                              else (think, lat))
+                    mid_index = 1
+                else:
+                    deltas = (lat, post) if post else (lat,)
+                    mid_index = 0
+                _, mids = chain_repeat_arr(now0, deltas, rem, mid_index)
+                if rem == 1 or bool((seg[1:] > seg[:-1]).all()):
+                    pend_acc[seg] += 1
+                    pend_ts[seg] = mids
+                    if write:
+                        self._latch_dirty(seg)
+                else:
+                    lo = int(seg.min())
+                    width = int(seg.max()) - lo + 1
+                    if width <= 4 * rem:
+                        rel = seg - lo
+                        bc = np.bincount(rel, minlength=width)
+                        nz = np.nonzero(bc)[0]
+                        pos = np.empty(width, dtype=np.int64)
+                        np.put(pos, rel, np.arange(rem))
+                        uq = nz + lo
+                        pend_acc[uq] += bc[nz]
+                        pend_ts[uq] = mids[pos[nz]]
+                        if write:
+                            self._latch_dirty(seg)
+                    else:
+                        for pid, mid in zip(seg.tolist(), mids.tolist()):
+                            f = frames_get(pid)
+                            f.accesses += 1
+                            f.last_access_ns = mid
+                            if write:
+                                f.dirty = True
+            elif tag == "lru":
+                _, ids, s, e, tier_index = rec
+            else:
+                _, ids, s, e, is_scan = rec
+                last = trk[-1] if trk else None
+                if (last is not None and last[0] is ids
+                        and last[2] == s and last[3] == is_scan):
+                    last[2] = e
+                else:
+                    trk.append([ids, s, e, is_scan])
+                continue
+            policy = tiers[tier_index].policy
+            if pol is policy and pol_seq is ids and pol_e == s:
+                pol_e = e
+            else:
+                if pol is not None:
+                    self._policy_touch(pol, pol_seq, pol_s, pol_e)
+                pol, pol_seq, pol_s, pol_e = policy, ids, s, e
+        if pol is not None:
+            self._policy_touch(pol, pol_seq, pol_s, pol_e)
+        for ids, s, e, is_scan in trk:
+            if tracker_block is not None:
+                if is_scan:
+                    if scan_true is None or scan_true.shape[0] < e:
+                        scan_true = np.ones(e, dtype=bool)
+                    tracker_block(ids, scan_true, s, e)
+                else:
+                    if scan_false is None or scan_false.shape[0] < e:
+                        scan_false = np.zeros(e, dtype=bool)
+                    tracker_block(ids, scan_false, s, e)
+            elif tracker_batch is not None:
+                tracker_batch(ids, s, e, is_scan)
+            else:
+                record = self.tracker.record
+                for j in range(s, e):
+                    record(ids[j], is_scan=is_scan)
+
+    @staticmethod
+    def _policy_touch(policy, seq, start: int, end: int) -> None:
+        """Touch ``seq[start:end]`` on a replacement policy (batch API
+        when available, scalar loop otherwise)."""
+        batch = getattr(policy, "record_access_batch", None)
+        if batch is not None:
+            batch(seq, start, end)
+        else:
+            record = policy.record_access
+            for i in range(start, end):
+                record(seq[i])
+
     def sync_frame_stats(self) -> None:
         """Fold deferred block-lane frame stats into the Frame objects.
 
@@ -495,6 +668,8 @@ class TieredBufferPool:
         this before anything reads per-frame statistics; direct pool
         drivers that inspect frames (tests) should call it too.
         """
+        if self._lazy_runs:
+            self._drain_lazy()
         pend = self._pend_acc
         if not pend.size:
             return
@@ -556,8 +731,16 @@ class TieredBufferPool:
 
     def snapshot(self) -> dict:
         """Pool state for a metrics snapshot: the stats counters with
-        per-tier entries re-keyed by tier name plus residency."""
-        self.sync_frame_stats()
+        per-tier entries re-keyed by tier name plus residency.
+
+        Deliberately does *not* force deferred frame statistics to
+        materialise: every value in the payload (stats counters,
+        residency, capacities) is maintained eagerly, so snapshots stay
+        cheap on the session hot path. Callers that read per-frame
+        state (``Frame.accesses``, recency order, tracker heat) go
+        through :meth:`sync_frame_stats` or one of the scalar entry
+        points, all of which drain first.
+        """
         snap = self.stats.snapshot()
         for index, tier in enumerate(self.tiers):
             tier_snap = snap.pop(f"tier.{index}", None)
@@ -609,6 +792,8 @@ class TieredBufferPool:
         clock cursor and any arrival-order wait on the tier's shared
         resources is folded into the returned latency.
         """
+        if self._lazy_runs:
+            self._drain_lazy()
         self.stats.accesses += 1
         self.tracker.record(page_id, is_scan=is_scan)
         clock = self._session_clock
@@ -658,6 +843,8 @@ class TieredBufferPool:
         fast lane against. Results are bit-identical to :meth:`access`;
         only the wall-clock cost differs.
         """
+        if self._lazy_runs:
+            self._drain_lazy()
         self.stats.accesses += 1
         self.tracker.record(page_id, is_scan=is_scan)
         clock = self._session_clock
@@ -725,6 +912,8 @@ class TieredBufferPool:
         the scalar path, so eviction, migration, and rebalance
         decisions see exactly the state they would have scalar-wise.
         """
+        if self._lazy_runs:
+            self._drain_lazy()
         if think_ns < 0 or post_ns < 0:
             raise BufferPoolError("think_ns and post_ns must be >= 0")
         seq = page_ids if hasattr(page_ids, "__getitem__") \
@@ -906,7 +1095,9 @@ class TieredBufferPool:
 
     def _flush_segment(self, seq: Sequence[PageId], start: int, end: int,
                        tier_index: int, nbytes: int, write: bool,
-                       end_ns: float = 0.0, lat: float = 0.0) -> None:
+                       end_ns: float = 0.0, lat: float = 0.0,
+                       occupy: bool = True,
+                       lazy: list | None = None) -> None:
         """Apply the deferred per-tier bookkeeping of a same-tier run:
         replacement recency, hit counters, device traffic. Counter
         order within a window does not affect simulated results (they
@@ -915,18 +1106,18 @@ class TieredBufferPool:
         In the session lane, *end_ns* (demand completion of the run's
         last access) and *lat* (its unloaded latency) place the run's
         occupancy on the tier's wait queues — the batched equivalent of
-        the per-access ``occupy_run`` in :meth:`_contend`.
+        the per-access ``occupy_run`` in :meth:`_contend`. A caller
+        that batches reservations itself (:meth:`_run_span` reserves
+        once per queue per window via
+        :meth:`~repro.sim.bandwidth.WaitQueue.reserve_run`) passes
+        ``occupy=False``.
         """
         count = end - start
         tier = self.tiers[tier_index]
-        policy = tier.policy
-        batch = getattr(policy, "record_access_batch", None)
-        if batch is not None:
-            batch(seq, start, end)
+        if lazy is None:
+            self._policy_touch(tier.policy, seq, start, end)
         else:
-            record = policy.record_access
-            for i in range(start, end):
-                record(seq[i])
+            lazy.append(("lru", seq, start, end, tier_index))
         self.stats.per_tier[tier_index].hits += count
         device_stats = tier.path.device.stats
         if write:
@@ -935,11 +1126,12 @@ class TieredBufferPool:
         else:
             device_stats.loads += count
             device_stats.load_bytes += count * nbytes
-        queues = self._session_queues
-        if queues is not None:
-            start_last = end_ns - lat
-            for queue in queues[tier_index]:
-                queue.occupy_run(start_last, nbytes, count, write)
+        if occupy:
+            queues = self._session_queues
+            if queues is not None:
+                start_last = end_ns - lat
+                for queue in queues[tier_index]:
+                    queue.occupy_run(start_last, nbytes, count, write)
 
     # -- the block lane -------------------------------------------------------
 
@@ -1027,13 +1219,13 @@ class TieredBufferPool:
         frames_get = self._frames.get
         headroom_fn = self._placement_headroom
         note = self._placement_note
-        tracker_batch = self._tracker_batch
-        tracker_record = self.tracker.record
         queues = self._session_queues
         res = self._res_tier
         lats = self._shape_latencies(nbytes, write, is_scan)
         any_tierless = self._any_tierless
         tierless = self._tierless_mask
+        lazy = self._lazy_runs
+        pure = think_ns == 0.0 and post_ns == 0.0
         i = start
         n = stop
         while i < n:
@@ -1086,6 +1278,15 @@ class TieredBufferPool:
                     bounds_rel = [0] + (cuts + 1).tolist() + [hits]
                 else:
                     bounds_rel = [0, hits]
+                # Queue occupancy is deferred to one reserve_run per
+                # queue at the window boundary: a session's own
+                # reservations can never push free_at past its own
+                # cursor (analytic latency covers the service time),
+                # so later segment heads fold exactly the same wait
+                # whether earlier segments occupied eagerly or not.
+                seg_tiers: list[int] = []
+                seg_lasts: list[float] = []
+                seg_counts: list[int] = []
                 for bi in range(len(bounds_rel) - 1):
                     s = i + bounds_rel[bi]
                     e = i + bounds_rel[bi + 1]
@@ -1121,64 +1322,129 @@ class TieredBufferPool:
                         now += post_ns
                     rem = e - s - 1
                     if rem:
-                        if rem >= _LADDER_MIN and lat > 0.0:
-                            # The remaining accesses repeat one delta
-                            # cycle; the ladders replay the scalar
-                            # addition sequence exactly, and the mids
-                            # are each access's pre-latency clock (the
-                            # frame touch timestamp).
-                            if think_ns:
-                                deltas = ((think_ns, lat, post_ns)
-                                          if post_ns else (think_ns, lat))
-                                mid_index = 1
-                            else:
-                                deltas = ((lat, post_ns) if post_ns
-                                          else (lat,))
-                                mid_index = 0
-                            now, mids = chain_repeat(now, deltas, rem,
-                                                     mid_index)
-                            pool_demand = repeat_add(pool_demand, lat, rem)
-                            accum = repeat_add(accum, lat, rem)
-                            seg_pids = ids[s + 1:e].tolist()
-                            if write:
-                                for pid, mid in zip(seg_pids, mids):
-                                    f = frames_get(pid)
-                                    f.accesses += 1
-                                    f.last_access_ns = mid
-                                    f.dirty = True
-                            else:
-                                for pid, mid in zip(seg_pids, mids):
-                                    f = frames_get(pid)
-                                    f.accesses += 1
-                                    f.last_access_ns = mid
-                        else:
-                            for pid in ids[s + 1:e].tolist():
+                        if lat > 0.0:
+                            # Deferred segment: the clock and demand
+                            # ladders are the only values the run
+                            # itself observes, so the mid timestamps
+                            # (frame touches), recency touches, and
+                            # tracker feed are recorded and replayed
+                            # by _drain_lazy() before any reader —
+                            # chain_repeat_arr over the same
+                            # (now, lat, think, post, rem) reproduces
+                            # the identical float sequence then. Pure
+                            # segments advance the clock by one exact
+                            # ladder; think-bearing segments run the
+                            # delta cycle (vectorised at _LADDER_MIN,
+                            # the scalar chain below it — the ladder's
+                            # own fallback regime, and exactly the
+                            # chain the compat loop runs). The demand
+                            # accumulators only ever add lat, so they
+                            # fold with repeat_add regardless of the
+                            # interleaving.
+                            lazy.append(("run", ids, s, e,
+                                         tier_index, now, lat,
+                                         think_ns, post_ns, write))
+                            if pure:
+                                now = repeat_add(now, lat, rem)
+                            elif rem >= _LADDER_MIN:
                                 if think_ns:
-                                    now += think_ns
-                                f = frames_get(pid)
-                                f.accesses += 1
-                                f.last_access_ns = now
-                                if write:
-                                    f.dirty = True
-                                now += lat
-                                pool_demand += lat
-                                accum += lat
+                                    deltas = ((think_ns, lat, post_ns)
+                                              if post_ns
+                                              else (think_ns, lat))
+                                    mid_index = 1
+                                else:
+                                    deltas = ((lat, post_ns) if post_ns
+                                              else (lat,))
+                                    mid_index = 0
+                                now, _ = chain_repeat_arr(
+                                    now, deltas, rem, mid_index)
+                            elif think_ns:
                                 if post_ns:
+                                    for _ in range(rem):
+                                        now += think_ns
+                                        now += lat
+                                        now += post_ns
+                                else:
+                                    for _ in range(rem):
+                                        now += think_ns
+                                        now += lat
+                            else:
+                                for _ in range(rem):
+                                    now += lat
                                     now += post_ns
+                            pool_demand = repeat_add(pool_demand,
+                                                     lat, rem)
+                            accum = repeat_add(accum, lat, rem)
+                            self.stats.per_tier[
+                                tier_index].hits += e - s
+                            dstats = self.tiers[
+                                tier_index].path.device.stats
+                            if write:
+                                dstats.stores += e - s
+                                dstats.store_bytes += (e - s) * nbytes
+                            else:
+                                dstats.loads += e - s
+                                dstats.load_bytes += (e - s) * nbytes
+                            if queues is not None:
+                                seg_tiers.append(tier_index)
+                                seg_lasts.append(
+                                    (now - post_ns if post_ns
+                                     else now) - lat)
+                                seg_counts.append(e - s)
+                            continue
+                        # lat == 0 (untimed tier): nothing to defer —
+                        # the chain degenerates to think/post alone.
+                        for pid in ids[s + 1:e].tolist():
+                            if think_ns:
+                                now += think_ns
+                            f = frames_get(pid)
+                            f.accesses += 1
+                            f.last_access_ns = now
+                            if write:
+                                f.dirty = True
+                            now += lat
+                            pool_demand += lat
+                            accum += lat
+                            if post_ns:
+                                now += post_ns
                     self._flush_segment(
                         ids, s, e, tier_index, nbytes, write,
                         end_ns=(now - post_ns) if post_ns else now,
-                        lat=lat,
+                        lat=lat, occupy=False, lazy=lazy,
                     )
+                    if queues is not None:
+                        seg_tiers.append(tier_index)
+                        seg_lasts.append(
+                            (now - post_ns if post_ns else now) - lat)
+                        seg_counts.append(e - s)
+                if seg_tiers:
+                    # Consecutive same-tier segments reserve in one
+                    # call; tier changes cut the batch so queues
+                    # shared across tiers see the exact per-segment
+                    # accounting order (busy time is a float chain).
+                    nsg = len(seg_tiers)
+                    a = 0
+                    while a < nsg:
+                        b = a + 1
+                        T = seg_tiers[a]
+                        while b < nsg and seg_tiers[b] == T:
+                            b += 1
+                        if b - a == 1:
+                            for queue in queues[T]:
+                                queue.occupy_run(seg_lasts[a], nbytes,
+                                                 seg_counts[a], write)
+                        else:
+                            for queue in queues[T]:
+                                queue.reserve_run(seg_lasts[a:b],
+                                                  nbytes,
+                                                  seg_counts[a:b],
+                                                  write)
+                        a = b
                 stats.accesses += hits
                 stats.demand_time_ns = pool_demand
                 clock._now = now
-                if tracker_batch is not None:
-                    tracker_batch(ids, win_start, win_start + hits,
-                                  is_scan)
-                else:
-                    for j in range(win_start, win_start + hits):
-                        tracker_record(ids[j], is_scan=is_scan)
+                lazy.append(("trk", ids, win_start, win_start + hits,
+                             is_scan))
                 note(ids, win_start, win_start + hits, is_scan)
                 i += hits
             if hits < wlen:
@@ -1207,11 +1473,19 @@ class TieredBufferPool:
         same ids. Runs too short for the vector setup, ids outside the
         dense table, or configurations without batch support fall back
         to the batched lane.
+
+        Runs usually arrive as consecutive slices of one block's id
+        column. The id-range guard (min/max/table-grow) is therefore
+        memoised per *backing array*: once the whole base passes, its
+        slices dispatch straight to the span. Blocks are immutable by
+        engine contract, so the validated range cannot go stale, and
+        the residency table only ever grows (``drop_all`` refills in
+        place), so the grown size cannot shrink out from under it.
         """
         n = len(page_ids)
         if n == 0:
             return accum
-        if (not self.fast_lane or n < VEC_SEG
+        if (not self.fast_lane or n < _RUN_MIN
                 or self._placement_headroom is None):
             return self.access_batch(page_ids.tolist(), nbytes=nbytes,
                                      write=write, is_scan=is_scan,
@@ -1219,6 +1493,12 @@ class TieredBufferPool:
                                      accum=accum)
         if think_ns < 0 or post_ns < 0:
             raise BufferPoolError("think_ns and post_ns must be >= 0")
+        base = page_ids.base
+        if base is None:
+            base = page_ids
+        if base is self._span_base:
+            return self._run_span(page_ids, 0, n, nbytes, write,
+                                  is_scan, think_ns, post_ns, accum)
         hi = int(page_ids.max())
         if hi >= _RES_MAX_PIDS or int(page_ids.min()) < 0:
             return self.access_batch(page_ids.tolist(), nbytes=nbytes,
@@ -1227,8 +1507,290 @@ class TieredBufferPool:
                                      accum=accum)
         if hi >= self._res_tier.shape[0]:
             self._res_grow(hi + 1)
+        if base.ndim == 1 and base.dtype == page_ids.dtype:
+            bhi = int(base.max())
+            if bhi < _RES_MAX_PIDS and int(base.min()) >= 0:
+                if bhi >= self._res_tier.shape[0]:
+                    self._res_grow(bhi + 1)
+                self._span_base = base
         return self._run_span(page_ids, 0, n, nbytes, write, is_scan,
                               think_ns, post_ns, accum)
+
+    def quantum_lane_ready(self) -> bool:
+        """Whether :meth:`access_quantum` may be used right now.
+
+        The quantum lane dispatches straight to the vectorised span,
+        which needs the fast lane on and a batch-capable placement
+        policy; callers falling back use per-run :meth:`access_run` /
+        :meth:`access_batch` (bit-identical either way).
+        """
+        return self.fast_lane and self._placement_headroom is not None
+
+    def access_quantum(self, ids: np.ndarray, segs: list,
+                       accum: float = 0.0
+                       ) -> tuple[float, list[float]]:
+        """Charge one scheduler quantum — consecutive uniform-shape
+        segments of a single block's id column — in one call.
+
+        *ids* is the whole column (indexed by segment bounds, never
+        sliced) and *segs* holds ``(start, stop, nbytes, write,
+        is_scan, think_ns)`` per segment in trace order, as produced
+        by ``ShapeSegments.next_span``. Returns ``(accum,
+        seg_demands)`` where ``seg_demands[i]`` is the accumulator
+        after segment ``i`` — the boundaries the session scheduler's
+        per-run samples are built from. Bit-identical to calling
+        :meth:`access_run` on each segment's slice in order; the
+        amortisation is the point: one id-range validation (memoised
+        per column, exactly as in :meth:`access_run`) and no per-run
+        slice objects or entry guards.
+
+        Callers must check :meth:`quantum_lane_ready` first.
+        """
+        seg_demands: list[float] = []
+        base = ids.base
+        if base is None:
+            base = ids
+        if base is not self._span_base:
+            ok = False
+            if base.ndim == 1:
+                bhi = int(base.max())
+                if bhi < _RES_MAX_PIDS and int(base.min()) >= 0:
+                    if bhi >= self._res_tier.shape[0]:
+                        self._res_grow(bhi + 1)
+                    self._span_base = base
+                    ok = True
+            if not ok:
+                # Ids outside the dense table: the batched lane per
+                # segment, exactly what access_run falls back to.
+                for a, b, nb, wr, sc, th in segs:
+                    accum = self.access_batch(
+                        ids[a:b].tolist(), nbytes=nb, write=wr,
+                        is_scan=sc, think_ns=th, accum=accum)
+                    seg_demands.append(accum)
+                return accum, seg_demands
+        if segs:
+            # All-hit quantum: when every access of the quantum is
+            # resident on a timed tier and the whole quantum fits one
+            # placement headroom window, per-segment span setup
+            # (gather, boundary mask, tier cuts) collapses to a single
+            # pass here and the hot core runs scalar per subsegment.
+            clock = self._session_clock
+            if clock is None:
+                clock = self.clock
+            q0 = segs[0][0]
+            q1 = segs[-1][1]
+            if self._placement_headroom() >= q1 - q0:
+                qspan = self._res_tier[ids[q0:q1]]
+                bad = qspan < 0
+                if self._any_tierless:
+                    bad |= self._tierless_mask[qspan]
+                if not bad.any():
+                    return self._quantum_hits(ids, segs, qspan, q0,
+                                              clock, accum, seg_demands)
+        run_span = self._run_span
+        for a, b, nb, wr, sc, th in segs:
+            if th < 0:
+                raise BufferPoolError("think_ns must be >= 0")
+            accum = run_span(ids, a, b, nb, wr, sc, th, 0.0, accum)
+            seg_demands.append(accum)
+        return accum, seg_demands
+
+    def _quantum_hits(self, ids: np.ndarray, segs: list,
+                      qspan: np.ndarray, q0: int, clock,
+                      accum: float, seg_demands: list[float]
+                      ) -> tuple[float, list[float]]:
+        """All-hit quantum core.
+
+        The caller proved, with one residency gather and one headroom
+        probe, that every access in the quantum hits a timed tier and
+        that no placement trigger can fire mid-quantum (headroom
+        covers the whole span, and all-hit processing never evicts, so
+        the gathered tiers cannot go stale). Under those guarantees
+        this loop is access_run on each shape segment with the window
+        machinery hoisted: tier-change cuts are located once across
+        the quantum, and each uniform (shape x tier) subsegment folds
+        the same first-access wait + deferred chain advance that
+        :meth:`_run_span` performs — the identical float sequence.
+        Clock and demand writebacks land at each shape-segment
+        boundary, exactly where the per-run path writes them.
+        """
+        stats = self.stats
+        frames_get = self._frames.get
+        note = self._placement_note
+        queues = self._session_queues
+        lazy = self._lazy_runs
+        per_tier = stats.per_tier
+        tiers = self.tiers
+        now = clock._now
+        pool_demand = stats.demand_time_ns
+        rel_cuts = np.nonzero(qspan[1:] != qspan[:-1])[0]
+        cut_list = (rel_cuts + (q0 + 1)).tolist()
+        cut_list.append(segs[-1][1])
+        ci = 0
+        for a, b, nbytes, write, is_scan, think_ns in segs:
+            if think_ns < 0:
+                raise BufferPoolError("think_ns must be >= 0")
+            lats = self._shape_latencies(nbytes, write, is_scan)
+            pure = think_ns == 0.0
+            seg_tiers: list[int] = []
+            seg_lasts: list[float] = []
+            seg_counts: list[int] = []
+            s = a
+            while s < b:
+                while cut_list[ci] <= s:
+                    ci += 1
+                e = cut_list[ci]
+                if e > b:
+                    e = b
+                tier_index = int(qspan[s - q0])
+                lat = lats[tier_index]
+                if think_ns:
+                    now += think_ns
+                lat_i = lat
+                if queues is not None:
+                    wait = 0.0
+                    bottleneck = None
+                    for queue in queues[tier_index]:
+                        delay = queue._free_at - now
+                        if delay > wait:
+                            wait = delay
+                            bottleneck = queue
+                    if wait > 0.0:
+                        self._session_wait_ns += wait
+                        bottleneck.note_wait(wait)
+                        lat_i = wait + lat
+                frame = frames_get(ids[s])
+                frame.accesses += 1
+                frame.last_access_ns = now
+                if write:
+                    frame.dirty = True
+                now += lat_i
+                pool_demand += lat_i
+                accum += lat_i
+                rem = e - s - 1
+                if rem:
+                    if lat > 0.0:
+                        lazy.append(("run", ids, s, e, tier_index,
+                                     now, lat, think_ns, 0.0, write))
+                        if pure:
+                            now = repeat_add(now, lat, rem)
+                        elif rem >= _LADDER_MIN:
+                            now, _ = chain_repeat_arr(
+                                now, (think_ns, lat), rem, 1)
+                        else:
+                            for _ in range(rem):
+                                now += think_ns
+                                now += lat
+                        pool_demand = repeat_add(pool_demand, lat, rem)
+                        accum = repeat_add(accum, lat, rem)
+                        per_tier[tier_index].hits += e - s
+                        dstats = tiers[tier_index].path.device.stats
+                        if write:
+                            dstats.stores += e - s
+                            dstats.store_bytes += (e - s) * nbytes
+                        else:
+                            dstats.loads += e - s
+                            dstats.load_bytes += (e - s) * nbytes
+                        if queues is not None:
+                            seg_tiers.append(tier_index)
+                            seg_lasts.append(now - lat)
+                            seg_counts.append(e - s)
+                        s = e
+                        continue
+                    for pid in ids[s + 1:e].tolist():
+                        if think_ns:
+                            now += think_ns
+                        f = frames_get(pid)
+                        f.accesses += 1
+                        f.last_access_ns = now
+                        if write:
+                            f.dirty = True
+                        now += lat
+                        pool_demand += lat
+                        accum += lat
+                self._flush_segment(ids, s, e, tier_index, nbytes,
+                                    write, end_ns=now, lat=lat,
+                                    occupy=False, lazy=lazy)
+                if queues is not None:
+                    seg_tiers.append(tier_index)
+                    seg_lasts.append(now - lat)
+                    seg_counts.append(e - s)
+                s = e
+            if queues is not None and seg_tiers:
+                nsg = len(seg_tiers)
+                x = 0
+                while x < nsg:
+                    y = x + 1
+                    T = seg_tiers[x]
+                    while y < nsg and seg_tiers[y] == T:
+                        y += 1
+                    if y - x == 1:
+                        for queue in queues[T]:
+                            queue.occupy_run(seg_lasts[x], nbytes,
+                                             seg_counts[x], write)
+                    else:
+                        for queue in queues[T]:
+                            queue.reserve_run(seg_lasts[x:y], nbytes,
+                                              seg_counts[x:y], write)
+                    x = y
+            stats.accesses += b - a
+            stats.demand_time_ns = pool_demand
+            clock._now = now
+            lazy.append(("trk", ids, a, b, is_scan))
+            note(ids, a, b, is_scan)
+            seg_demands.append(accum)
+        return accum, seg_demands
+
+    def run_probe(self, page_ids: np.ndarray, nbytes: int,
+                  write: bool = False,
+                  is_scan: bool = False) -> float | None:
+        """Constant per-access latency of a uniform run, when provable.
+
+        The concurrent scheduler's escalation check: returns the
+        unloaded latency ``lat`` when charging *page_ids* through
+        :meth:`access_run` right now is guaranteed to advance the
+        demand accumulator by exactly ``lat`` per access — every page
+        resident in one timed tier, the whole run inside the current
+        placement headroom window (no mid-run trigger), and, in the
+        session lane, every consulted wait queue already free (a
+        session's own reservations can never outrun its own cursor,
+        so zero waits fold for the entire run). Returns ``None`` when
+        any guarantee fails; probing mutates nothing.
+        """
+        if not self.fast_lane or self._placement_headroom is None:
+            return None
+        n = page_ids.shape[0]
+        if n == 0 or self._placement_headroom() < n:
+            return None
+        # Scalar pre-checks first — under contention the busy-queue
+        # rejection below fires on nearly every probe, so the O(n)
+        # residency gather only runs once those have passed.
+        res = self._res_tier
+        first = int(page_ids[0])
+        if first < 0 or first >= res.shape[0]:
+            return None
+        tier = int(res[first])
+        if tier < 0:
+            return None
+        if self._any_tierless and bool(self._tierless_mask[tier]):
+            return None
+        lat = self._shape_latencies(nbytes, write, is_scan)[tier]
+        if lat is None or lat <= 0.0 or not math.isfinite(lat):
+            return None
+        queues = self._session_queues
+        if queues is not None:
+            now = self._session_clock._now
+            for queue in queues[tier]:
+                if queue._free_at > now:
+                    return None
+        hi = int(page_ids.max())
+        if hi >= _RES_MAX_PIDS or hi >= res.shape[0] \
+                or int(page_ids.min()) < 0:
+            return None
+        span = res[page_ids]
+        if not bool((span == tier).all()):
+            return None
+        return lat
 
     def access_block(self, block, accum: float = 0.0) -> float:
         """Charge a whole columnar AccessBlock; the block lane.
@@ -1271,8 +1833,23 @@ class TieredBufferPool:
                                 scans_l[j])
             return accum
         hi = int(ids_nd.max())
+        if self._session_queues is not None:
+            # Contended session lane: one access_run per uniform-shape
+            # segment. The vectorised span lane folds queue waits per
+            # tier segment and reserves occupancy per window, so
+            # contended blocks no longer drop to the per-access walk
+            # (short segments still fall back to the batched lane
+            # inside access_run, bit-identically).
+            a = 0
+            for b in bounds[1:]:
+                accum = self.access_run(
+                    ids_nd[a:b], nbytes=int(sizes_nd[a]),
+                    write=bool(writes_nd[a]), is_scan=bool(scans_nd[a]),
+                    think_ns=float(thinks_nd[a]), accum=accum,
+                )
+                a = b
+            return accum
         if (self._placement_headroom is None
-                or self._session_queues is not None
                 or hi >= _RES_MAX_PIDS or int(ids_nd.min()) < 0):
             # Segment lane: one access_batch per uniform-shape segment,
             # exactly the pre-block-lane decomposition.
@@ -1801,6 +2378,8 @@ class TieredBufferPool:
     def get_page(self, page_id: PageId) -> Page:
         """The resident Page object (faults it in at zero charge if
         needed — use :meth:`access` for timed paths)."""
+        if self._lazy_runs:
+            self._drain_lazy()
         frame = self._frames.get(page_id)
         if frame is None:
             self._fault(page_id)
@@ -1961,6 +2540,8 @@ class TieredBufferPool:
         quantum, that session's clock cursor — migrations triggered by
         a session's accesses are time the session experiences).
         """
+        if self._lazy_runs:
+            self._drain_lazy()
         elapsed = self._migrate_locked(page_id, to_tier, demotion=False)
         clock = self._session_clock
         (clock if clock is not None else self.clock).advance(elapsed)
@@ -2039,6 +2620,8 @@ class TieredBufferPool:
 
     def flush_all(self) -> float:
         """Write every dirty frame back to storage; returns elapsed ns."""
+        if self._lazy_runs:
+            self._drain_lazy()
         self._dirty_mirror[:] = False
         elapsed = 0.0
         for frame in self._frames.values():
@@ -2065,6 +2648,8 @@ class TieredBufferPool:
         joins the anonymous page set. No tier residency and no timing
         — the page simply becomes reachable via :meth:`access`.
         """
+        if self._lazy_runs:
+            self._drain_lazy()
         if self.backing is not None:
             self.backing.install(page)
         else:
@@ -2077,6 +2662,8 @@ class TieredBufferPool:
         CXL memory by a previous engine are adopted by its successor
         without any I/O or fabric transfer.
         """
+        if self._lazy_runs:
+            self._drain_lazy()
         if not 0 <= tier_index < len(self.tiers):
             raise BufferPoolError(f"invalid tier {tier_index}")
         if page.page_id in self._frames:
@@ -2098,6 +2685,8 @@ class TieredBufferPool:
         eviction time is returned without advancing any clock; the
         caller decides whom to charge.
         """
+        if self._lazy_runs:
+            self._drain_lazy()
         if not 0 <= tier_index < len(self.tiers):
             raise BufferPoolError(f"invalid tier {tier_index}")
         if capacity_pages <= 0:
@@ -2113,6 +2702,8 @@ class TieredBufferPool:
 
     def drop_all(self) -> None:
         """Empty the pool without timing (test/reset helper)."""
+        if self._lazy_runs:
+            self._drain_lazy()
         # policy.remove does not touch self._frames, so no snapshot
         # copy of the frame map is needed.
         for page_id, frame in self._frames.items():

@@ -257,13 +257,21 @@ class ScaleUpEngine:
     # -- execution ----------------------------------------------------------
 
     def run(self, trace: Iterable[Access] | Iterable[AccessBlock],
-            label: str | None = None) -> EngineReport:
+            label: str | None = None,
+            sync_frames: bool = True) -> EngineReport:
         """Execute a trace; returns the run report.
 
         Each access charges its CPU think time plus the buffer pool's
         demand latency to the engine clock. The trace may carry scalar
         :class:`Access` records, :class:`AccessBlock` chunks, or a mix
         of both — the simulated result is identical either way.
+
+        *sync_frames* controls whether deferred per-frame statistics
+        (access counts, recency, temperature) are materialised when
+        the run finishes. The report itself is built from eagerly
+        maintained counters, so demand-only measurements on throwaway
+        engines can pass ``False`` and skip the fold; any later reader
+        of per-frame state still forces it on demand.
 
         With the pool's fast lane enabled, consecutive accesses that
         share one shape (size, read/write, scan flag, think time) are
@@ -389,9 +397,10 @@ class ScaleUpEngine:
                         access.is_scan,
                     )
                     ops += 1
-        sync_frames = getattr(pool, "sync_frame_stats", None)
-        if sync_frames is not None:
-            sync_frames()
+        if sync_frames:
+            sync_fn = getattr(pool, "sync_frame_stats", None)
+            if sync_fn is not None:
+                sync_fn()
         stats = pool.stats
         window = stats.accesses - start_accesses
         report = EngineReport(
@@ -484,7 +493,8 @@ class ScaleUpEngine:
         return report
 
     def run_sessions(self, sessions, label: str | None = None,
-                     policy=None, morsel_ops: int | None = None):
+                     policy=None, morsel_ops: int | None = None,
+                     escalate: bool = True):
         """Execute several client sessions as genuine concurrency.
 
         Convenience front end for
@@ -493,12 +503,15 @@ class ScaleUpEngine:
         raw traces (scalar or block form). Returns a
         :class:`~repro.core.sessions.SessionRunReport`. An N=1 run is
         byte-identical to :meth:`run` on the same trace; N>1 runs are
-        deterministic and permutation-invariant.
+        deterministic and permutation-invariant. *escalate* forwards
+        the contention-aware bulk-quantum switch (byte-identical on or
+        off; off pins the exact per-quantum schedule for tests).
         """
         from .sessions import MORSEL_OPS, ConcurrentEngine
         executor = ConcurrentEngine(
             self.pool, name=self.name, policy=policy,
             morsel_ops=MORSEL_OPS if morsel_ops is None else morsel_ops,
+            escalate=escalate,
         )
         return executor.run(sessions, label=label)
 

@@ -85,14 +85,17 @@ class LRUPolicy:
                 self._order = rebuilt
                 return
         move = order.move_to_end
-        i = start
+        run = keys[start:end]
+        if type(run) is not list:
+            # ndarray windows: one C-level materialisation, then the
+            # loop hashes plain ints instead of numpy scalars.
+            run = run.tolist()
         try:
-            while i < end:
-                move(keys[i])
-                i += 1
-        except KeyError:
+            for key in run:
+                move(key)
+        except KeyError as exc:
             raise BufferPoolError(
-                f"access to untracked {keys[i]}"
+                f"access to untracked {exc.args[0]}"
             ) from None
 
     def remove(self, key: int) -> None:

@@ -50,12 +50,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SimulationError
 from ..sim.clock import SimClock
 from ..sim.events import Simulator
 from ..sim.ladder import repeat_add
 from ..units import SECOND
-from ..workloads.traces import Access, AccessBlock, ShapeSegments
+from ..workloads.traces import (Access, AccessBlock, ShapeSegments,
+                                accesses_to_blocks, whole_trace_block)
 from .buffer import TieredBufferPool
 from .morsel import Morsel
 
@@ -65,6 +66,29 @@ from .morsel import Morsel
 #: amortise scheduling overhead. Simulated results are deterministic
 #: at any quantum, and N=1 runs are byte-identical at every quantum.
 MORSEL_OPS = 32
+
+#: Relative slack applied to the escalation horizon bound: the
+#: closed-form completion estimate ``now + (think + lat) * ops`` is
+#: inflated by this factor before being compared (strictly) against
+#: the next pending wakeup. Sequential float accumulation can trail
+#: the closed form by at most ~``2 * ops`` ulps, so with the bulk op
+#: cap below the inflation dominates any rounding drift by several
+#: orders of magnitude — an escalated quantum can never run past an
+#: instant where another session could interleave.
+_HORIZON_SLACK = 1.0 + 1e-6
+
+#: Cap on accesses charged by one escalated pool call; keeps the
+#: rounding-drift argument for :data:`_HORIZON_SLACK` airtight and
+#: bounds the latency of a single scheduling step. The next wakeup
+#: simply escalates again, so the cap does not limit throughput.
+_BULK_MAX_OPS = 1 << 24
+
+#: ``block_ops`` used when a session trace is packed for execution:
+#: effectively unbounded, so scalar traces become *one* block and
+#: same-shape runs split exactly where the scalar coalescer would
+#: have split them (shape changes and pre-existing block boundaries)
+#: — the run-length ``samples`` stream is preserved bit for bit.
+_WHOLE_TRACE = 1 << 62
 
 
 def _weighted_percentile(samples: Sequence[tuple[float, int]],
@@ -158,11 +182,26 @@ class ClientSession:
         self._done = False
 
     def _begin(self, start_ns: float) -> None:
-        """Arm the session for a run starting at *start_ns*."""
+        """Arm the session for a run starting at *start_ns*.
+
+        The trace is packed into columnar blocks on the way in
+        (whole-trace ``block_ops``, so no artificial run splits): the
+        cursor then serves every same-shape run as an int64 ndarray
+        view, which keeps scalar traces off the per-access coalescing
+        loop and on the pool's block lane. Lossless — the packed
+        sequence is elementwise identical, and run boundaries match
+        the scalar coalescer's (shape changes and pre-existing block
+        boundaries only).
+        """
         self.clock = SimClock(start_ns)
         self.report = SessionReport(name=self.name, start_ns=start_ns,
                                     end_ns=start_ns)
-        self._segments = ShapeSegments(self.trace)
+        packed = whole_trace_block(self.trace)
+        if packed is not None:
+            self._segments = ShapeSegments((packed,))
+        else:
+            self._segments = ShapeSegments(
+                accesses_to_blocks(self.trace, block_ops=_WHOLE_TRACE))
         self._done = False
 
     def __repr__(self) -> str:
@@ -364,7 +403,7 @@ class ConcurrentEngine:
                  policy: FairnessPolicy | None = None,
                  morsel_ops: int = MORSEL_OPS,
                  on_morsel: Callable[[str, Morsel], None] | None = None,
-                 ctx=None) -> None:
+                 ctx=None, escalate: bool = True) -> None:
         if morsel_ops <= 0:
             raise ConfigError("morsel_ops must be positive")
         if ctx is not None and ctx is not pool.ctx:
@@ -384,8 +423,12 @@ class ConcurrentEngine:
         #: shape :class:`~repro.core.morsel.RackScheduler` consumes, so
         #: session quanta can feed morsel-level schedulers directly.
         self.on_morsel = on_morsel
+        #: Contention-aware quantum escalation (see :meth:`_run_bulk`).
+        #: Byte-identical on or off — the switch exists so tests can
+        #: pin the equivalence and experiments can measure the cost.
+        self.escalate = bool(escalate)
         self._sim: Simulator | None = None
-        self._ready: list[ClientSession] = []
+        self._quantum = None
 
     # -- session set handling ------------------------------------------
 
@@ -427,20 +470,25 @@ class ConcurrentEngine:
         start_ns = clock.now
         sim = Simulator(ctx=ctx)
         self._sim = sim
-        self._ready = []
         for rank, session in enumerate(order):
             session.index = rank
             session._begin(start_ns)
         policy = self.policy
         policy.attach(order)
+        # Quantum lane: resolved once per run (the lane toggle is
+        # fixed for a run's duration). When ready, _run_quantum
+        # charges whole multi-segment spans through one pool call.
+        ready = getattr(pool, "quantum_lane_ready", None)
+        self._quantum = (pool.access_quantum
+                         if ready is not None and ready() else None)
         # Build the shared-resource queues up front so every session
         # (including the first) contends through the same objects.
         pool.wait_queues()
         for session in order:
-            sim.at(start_ns, self._wake, session)
+            sim.schedule(start_ns, session)
         with ctx.span(f"run-sessions:{label or self.name}",
                       cat="engine"):
-            sim.run()
+            self._drive(sim)
             makespan = start_ns
             for session in order:
                 if session.report.end_ns > makespan:
@@ -460,37 +508,195 @@ class ConcurrentEngine:
         metrics.incr("engine.ops", report.ops)
         report.metrics = metrics.snapshot()
         self._sim = None
-        self._ready = []
         return report
 
-    def _wake(self, session: ClientSession) -> None:
-        """Session wakeup event: collect simultaneous arrivals, then
-        drain the ready set in fairness-policy order (delta cycle).
+    def _drive(self, sim: Simulator) -> None:
+        """The scheduling loop: pop each instant's wakeup batch and
+        drain it in fairness-policy order (delta cycle).
 
-        Deferring while the next queued event shares the current
-        instant makes equal-timestamp ordering a policy decision with
-        a name tie-break instead of a heap-insertion artifact — the
-        permutation-invariance guarantee.
+        :meth:`Simulator.pop_due` returns *every* wakeup sharing the
+        earliest pending instant as one batch, so equal-timestamp
+        ordering is a policy decision with a name tie-break instead of
+        a heap-insertion artifact — the permutation-invariance
+        guarantee. Two scheduling shortcuts ride on top, both float-
+        identical to the naive loop:
+
+        * **sole-runnable fast path** — when the session just run is
+          still strictly ahead of every queued wakeup, it is re-run
+          directly instead of round-tripping through the heap (the
+          heap would pop it alone anyway);
+        * **hoisted session lane** — ``pool.session_begin`` /
+          ``session_end`` bracket maximal runs of consecutive quanta
+          of the *same* session rather than each quantum (the pair
+          only swaps cursor attributes, so the floats cannot differ).
         """
-        ready = self._ready
-        ready.append(session)
-        sim = self._sim
-        next_ns = sim.peek_time_ns()
-        if next_ns is not None and next_ns == sim.now:
-            return
+        pool = self.pool
         policy = self.policy
-        while ready:
-            chosen = policy.select(ready)
-            ready.remove(chosen)
-            ops = self._run_quantum(chosen)
-            policy.on_ran(chosen, ops)
-            if not chosen._done:
-                # Strictly in the future: every access has positive
-                # latency, so the cursor moved past sim.now.
-                sim.at(chosen.clock.now, self._wake, chosen)
+        escalate = self.escalate and self.on_morsel is None
+        begun: ClientSession | None = None
+        try:
+            while True:
+                ready = sim.pop_due()
+                if not ready:
+                    break
+                while ready:
+                    chosen = policy.select(ready)
+                    ready.remove(chosen)
+                    if begun is not chosen:
+                        if begun is not None:
+                            pool.session_end()
+                        pool.session_begin(chosen.clock)
+                        begun = chosen
+                    next_ns = None
+                    if escalate and not ready:
+                        # No events are scheduled during a quantum, so
+                        # this peek stays valid until the re-arm below.
+                        next_ns = sim.peek_time_ns()
+                        self._run_bulk(chosen, next_ns)
+                    else:
+                        ops = self._run_quantum(chosen)
+                        policy.on_ran(chosen, ops)
+                    if chosen._done:
+                        continue
+                    # Strictly in the future: every access has positive
+                    # latency, so the cursor moved past sim.now.
+                    time_ns = chosen.clock._now
+                    if not ready:
+                        if next_ns is None:
+                            next_ns = sim.peek_time_ns()
+                        if next_ns is None or time_ns < next_ns:
+                            ready.append(chosen)
+                            continue
+                    sim.schedule(time_ns, chosen)
+        finally:
+            if begun is not None:
+                pool.session_end()
+
+    def _run_bulk(self, session: ClientSession, next_ns: float | None
+                  ) -> None:
+        """Run the sole-runnable *session*'s next quantum, escalating
+        to a bulk multi-quantum charge when provably uncontended.
+
+        Escalation fires only when every condition of the chunked
+        path's behaviour is pinned analytically:
+
+        * the current same-shape segment spans at least two whole
+          quanta (``morsel_ops * 2`` accesses still block-backed);
+        * the pool's :meth:`~repro.core.buffer.TieredBufferPool.\
+run_probe` certifies the run is uniform — every page resident on one
+          tier with eviction headroom, every consulted wait queue
+          already free — so each access adds exactly the probed
+          latency to demand and ``think + lat`` to the cursor;
+        * the closed-form completion bound, inflated by
+          :data:`_HORIZON_SLACK`, lands strictly before the next
+          pending wakeup, so no other session could have interleaved
+          between the collapsed quantum boundaries.
+
+        Under those conditions a quantum boundary changes no floats —
+        the pool's additions are windowing-invariant, and the
+        per-quantum bookkeeping (samples, think ladder, policy state)
+        is reconstructed exactly in :meth:`_charge_bulk` — so charging
+        ``n`` quanta in one pool call is byte-identical to the 32-op
+        loop. Anything short of certainty falls back to the exact
+        chunked quantum.
+        """
+        m = self.morsel_ops
+        if m * 2 <= _BULK_MAX_OPS:
+            segments = session._segments
+            nq = segments.remaining_in_segment() // m
+            if nq >= 2:
+                if nq * m > _BULK_MAX_OPS:
+                    nq = _BULK_MAX_OPS // m
+                count = nq * m
+                ids, nbytes, write, is_scan, think = \
+                    segments.peek_run(count)
+                lat = self.pool.run_probe(ids, nbytes, write, is_scan)
+                if lat is not None and think >= 0.0:
+                    horizon = (session.clock._now
+                               + (think + lat) * count) * _HORIZON_SLACK
+                    if next_ns is None or horizon < next_ns:
+                        self._charge_bulk(session, nbytes, write,
+                                          is_scan, think, lat, nq)
+                        return
+        ops = self._run_quantum(session)
+        self.policy.on_ran(session, ops)
+
+    def _charge_bulk(self, session: ClientSession, nbytes: int,
+                     write: bool, is_scan: bool, think: float,
+                     lat: float, nq: int) -> None:
+        """Charge *nq* consecutive full quanta of one same-shape run
+        through a single pool call, replaying the chunked path's
+        per-quantum bookkeeping exactly.
+
+        The pool floats are byte-identical by windowing invariance;
+        the session-side reconstruction leans on the exact repeated-
+        addition ladder: ``repeat_add(x, d, a + b) ==
+        repeat_add(repeat_add(x, d, a), d, b)``, so quantum-boundary
+        demand values (for ``samples``) and the think accumulator come
+        back bit for bit. The probe's per-access-latency guarantee is
+        *verified* after the fact — a demand total that strays from
+        the closed form aborts the run loudly rather than let an
+        unsound escalation drift.
+        """
+        pool = self.pool
+        policy = self.policy
+        report = session.report
+        stats = pool.stats
+        misses_before = stats.misses
+        migrations_before = stats.migrations
+        wait_before = pool.session_wait_ns
+        m = self.morsel_ops
+        count = nq * m
+        page_ids, _, _, _, _, got = session._segments.next_run(count)
+        if got != count:
+            raise SimulationError(
+                f"bulk quantum pulled {got} ops, expected {count}")
+        demand0 = report.demand_ns
+        report.demand_ns = pool.access_run(
+            page_ids, nbytes=nbytes, write=write, is_scan=is_scan,
+            think_ns=think, accum=demand0,
+        )
+        if report.demand_ns != repeat_add(demand0, lat, count):
+            raise SimulationError(
+                "escalated quantum diverged from the probed latency;"
+                " run_probe's uniformity guarantee was violated"
+            )
+        if think:
+            # nq per-quantum ladders (m >= 64) or nq * m scalar adds
+            # (m < 64) both equal one ladder over the whole run — the
+            # composability property above.
+            report.think_ns = repeat_add(report.think_ns, think, count)
+        report.ops += count
+        samples = report.samples
+        prev = demand0
+        for quantum in range(1, nq):
+            cur = repeat_add(demand0, lat, quantum * m)
+            samples.append(((cur - prev) / m, m))
+            prev = cur
+        samples.append(((report.demand_ns - prev) / m, m))
+        report.misses += stats.misses - misses_before
+        report.migrations += stats.migrations - migrations_before
+        report.wait_ns += pool.session_wait_ns - wait_before
+        report.end_ns = session.clock._now
+        report.quanta += nq
+        # Policy replay: the drain already selected this quantum's
+        # winner once; the remaining nq - 1 selections were singleton
+        # draws, observed here so stateful policies (round-robin
+        # cursor, stride passes) evolve exactly as in chunked mode.
+        policy.on_ran(session, m)
+        if nq > 1:
+            single = [session]
+            for _ in range(nq - 1):
+                policy.select(single)
+                policy.on_ran(session, m)
 
     def _run_quantum(self, session: ClientSession) -> int:
-        """Execute one morsel quantum of a session; returns ops run."""
+        """Execute one morsel quantum of a session; returns ops run.
+
+        The caller (:meth:`_drive`) holds the pool's session lane open
+        around consecutive quanta; this method only pulls runs and
+        charges them.
+        """
         pool = self.pool
         report = session.report
         stats = pool.stats
@@ -503,49 +709,78 @@ class ConcurrentEngine:
         segments = session._segments
         batch = pool.access_batch
         run_nd = pool.access_run
-        pool.session_begin(session.clock)
-        try:
-            while budget > 0:
-                run = segments.next_run(budget)
-                if run is None:
-                    session._done = True
-                    break
-                page_ids, nbytes, write, is_scan, think, count = run
-                demand_before = report.demand_ns
-                if type(page_ids) is list:
-                    report.demand_ns = batch(
-                        page_ids, nbytes=nbytes, write=write,
-                        is_scan=is_scan, think_ns=think,
-                        accum=report.demand_ns,
-                    )
+        quantum = self._quantum
+        while budget > 0:
+            if quantum is not None:
+                span = segments.next_span(budget)
+                if span is not None:
+                    # Quantum lane: the whole multi-segment span in
+                    # one pool call; per-segment demand boundaries
+                    # come back so the think ladder and samples are
+                    # rebuilt run by run, exactly as the per-run loop
+                    # below would.
+                    ids, segs, count = span
+                    prev = report.demand_ns
+                    report.demand_ns, seg_demands = quantum(
+                        ids, segs, prev)
+                    think_total = report.think_ns
+                    samples = report.samples
+                    for (a, b, _nb, _wr, _sc, th), demand in zip(
+                            segs, seg_demands):
+                        seg_count = b - a
+                        if th:
+                            if seg_count >= 64:
+                                think_total = repeat_add(
+                                    think_total, th, seg_count)
+                            else:
+                                for _ in range(seg_count):
+                                    think_total += th
+                        samples.append(
+                            ((demand - prev) / seg_count, seg_count))
+                        prev = demand
+                    report.think_ns = think_total
+                    report.ops += count
+                    ops += count
+                    budget -= count
+                    continue
+            run = segments.next_run(budget)
+            if run is None:
+                session._done = True
+                break
+            page_ids, nbytes, write, is_scan, think, count = run
+            demand_before = report.demand_ns
+            if type(page_ids) is list:
+                report.demand_ns = batch(
+                    page_ids, nbytes=nbytes, write=write,
+                    is_scan=is_scan, think_ns=think,
+                    accum=report.demand_ns,
+                )
+            else:
+                # Columnar run straight off a block: the pool's
+                # block lane resolves it without materialising a
+                # Python list (bit-identical to access_batch).
+                report.demand_ns = run_nd(
+                    page_ids, nbytes=nbytes, write=write,
+                    is_scan=is_scan, think_ns=think,
+                    accum=report.demand_ns,
+                )
+            if think:
+                # Replay the scalar think addition chain, as in
+                # ScaleUpEngine.run: an exact ladder once the run
+                # is long enough to amortise the setup.
+                if count >= 64:
+                    report.think_ns = repeat_add(report.think_ns,
+                                                 think, count)
                 else:
-                    # Columnar run straight off a block: the pool's
-                    # block lane resolves it without materialising a
-                    # Python list (bit-identical to access_batch).
-                    report.demand_ns = run_nd(
-                        page_ids, nbytes=nbytes, write=write,
-                        is_scan=is_scan, think_ns=think,
-                        accum=report.demand_ns,
-                    )
-                if think:
-                    # Replay the scalar think addition chain, as in
-                    # ScaleUpEngine.run: an exact ladder once the run
-                    # is long enough to amortise the setup.
-                    if count >= 64:
-                        report.think_ns = repeat_add(report.think_ns,
-                                                     think, count)
-                    else:
-                        think_total = report.think_ns
-                        for _ in range(count):
-                            think_total += think
-                        report.think_ns = think_total
-                report.ops += count
-                ops += count
-                budget -= count
-                report.samples.append(
-                    ((report.demand_ns - demand_before) / count, count))
-        finally:
-            pool.session_end()
+                    think_total = report.think_ns
+                    for _ in range(count):
+                        think_total += think
+                    report.think_ns = think_total
+            report.ops += count
+            ops += count
+            budget -= count
+            report.samples.append(
+                ((report.demand_ns - demand_before) / count, count))
         report.misses += stats.misses - misses_before
         report.migrations += stats.migrations - migrations_before
         report.wait_ns += pool.session_wait_ns - wait_before

@@ -218,8 +218,15 @@ class ExactTracker:
                 self._add_one(pid, weight)
             return
         self._ensure(hi)
-        uniq, counts = np.unique(ids, return_counts=True)
         harr = self._harr
+        if ids.shape[0] == 1 or bool((ids[1:] > ids[:-1]).all()):
+            # Strictly increasing means duplicate-free (scan windows
+            # are), so every page takes exactly one add and the
+            # sort-based unique can be skipped entirely.
+            harr[ids] = harr[ids] + weight
+            self._present[ids] = True
+            return
+        uniq, counts = np.unique(ids, return_counts=True)
         singles = uniq[counts == 1]
         if singles.shape[0]:
             harr[singles] = harr[singles] + weight

@@ -7,6 +7,7 @@ Examples::
     repro perfbench --check              # gate against the committed baseline
     repro perfbench --benches scan,oltp --repeats 5
     repro perfbench --history            # speedup trajectory across BENCH_PR*
+    repro perfbench --profile            # cProfile the fast lane per bench
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ from .runner import (
     DEFAULT_TOLERANCE,
     check_report,
     load_baseline,
+    profile_perfbench,
     run_perfbench,
     write_report,
 )
@@ -92,6 +94,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="baseline directory for --history",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="instead of timing, run each selected bench's fast lane"
+             " once under cProfile and write profile-<bench>.txt"
+             " (top functions by cumulative and total time) into"
+             " --profile-dir",
+    )
+    parser.add_argument(
+        "--profile-dir", metavar="DIR", default=str(BENCH_DIR),
+        help="output directory for --profile reports",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=30,
+        help="functions per sort order in --profile reports",
+    )
+    parser.add_argument(
         "--targets", metavar="PATH",
         help="targets file for the --history gate (default:"
              " <bench-dir>/TARGETS.json; gate is skipped when the"
@@ -153,6 +170,22 @@ def perfbench_main(argv: list[str]) -> int:
     def progress(message: str) -> None:
         if not args.quiet:
             print(f"  {message}", file=sys.stderr)
+
+    if args.profile:
+        try:
+            paths = profile_perfbench(
+                benches=benches,
+                scale=args.scale,
+                out_dir=args.profile_dir,
+                top=args.profile_top,
+                progress=progress,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for path in paths:
+            print(f"profile written to {path}")
+        return 0
 
     try:
         report = run_perfbench(

@@ -1,6 +1,6 @@
 """Perfbench runner: time microbenchmarks, write and gate reports.
 
-The committed baseline (``results/bench/BENCH_PR8.json``) records both
+The committed baseline (``results/bench/BENCH_PR9.json``) records both
 the machine-specific wall-clock numbers from the machine that produced
 it *and* machine-independent facts: the simulated-result digest per
 bench and the fast/compat speedup ratio. ``--check`` re-runs the
@@ -15,8 +15,11 @@ benches and fails if
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import platform
+import pstats
 import time
 from pathlib import Path
 from typing import Callable
@@ -24,7 +27,7 @@ from typing import Callable
 from ..errors import ConfigError
 from .bench import MICROBENCHES, run_microbench
 
-BENCH_BASELINE_PATH = Path("results/bench/BENCH_PR8.json")
+BENCH_BASELINE_PATH = Path("results/bench/BENCH_PR9.json")
 SCHEMA = "repro.perfbench/v1"
 
 # CI runners are noisy shared machines; require only this fraction of
@@ -102,6 +105,57 @@ def run_perfbench(
         "recorded": time.strftime("%Y-%m-%d"),
         "benches": results,
     }
+
+
+def profile_perfbench(
+    benches: list[str] | None = None,
+    scale: float = 1.0,
+    out_dir: Path | str = Path("results/bench"),
+    top: int = 30,
+    progress: Callable[[str], None] | None = None,
+) -> list[Path]:
+    """Profile each bench's fast lane under cProfile.
+
+    Writes ``profile-<bench>.txt`` per bench into *out_dir* — the top
+    *top* functions by cumulative and by total time — and returns the
+    written paths. Profiling answers the question the timing table
+    can't: *where* the fast lane spends its remaining wall clock, which
+    is what the next optimisation PR wants committed alongside the
+    numbers it is trying to beat.
+    """
+    if scale <= 0:
+        raise ConfigError("scale must be positive")
+    if top <= 0:
+        raise ConfigError("top must be positive")
+    names = benches if benches is not None else sorted(MICROBENCHES)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for name in names:
+        if name not in MICROBENCHES:
+            raise ConfigError(
+                f"unknown microbenchmark {name!r};"
+                f" known: {', '.join(sorted(MICROBENCHES))}"
+            )
+        if progress:
+            progress(f"profiling {name}/fast")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        wall_s, digest = run_microbench(name, fast=True, scale=scale)
+        profiler.disable()
+        buf = io.StringIO()
+        buf.write(f"# cProfile of {name} (fast lane, scale={scale})\n")
+        buf.write(f"# wall {wall_s:.6f}s  sim_digest {digest}\n\n")
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.strip_dirs()
+        for sort in ("cumulative", "tottime"):
+            buf.write(f"## top {top} by {sort}\n")
+            stats.sort_stats(sort).print_stats(top)
+            buf.write("\n")
+        path = out / f"profile-{name}.txt"
+        path.write_text(buf.getvalue())
+        paths.append(path)
+    return paths
 
 
 def write_report(report: dict, path: Path | str) -> Path:

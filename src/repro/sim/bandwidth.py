@@ -203,6 +203,47 @@ class WaitQueue:
         self._busy_ns += count * service
         self._grants += count
 
+    def reserve_run(self, last_starts, nbytes: int, counts,
+                    write: bool = False) -> None:
+        """Reserve a whole multi-segment run of same-shape transfers.
+
+        *last_starts* and *counts* are parallel sequences (ndarray or
+        list), one entry per tier segment of the run: the virtual time
+        at which the segment's final transfer starts, and how many
+        transfers the segment carries. Byte-identical to calling
+        :meth:`occupy_run` once per segment in order.
+
+        The cummax argument: sequential occupies evolve ``free_at`` as
+        ``f_k = max(f_{k-1}, L_k + s)`` with one shared service time
+        ``s``, so the final value is ``max(f_0, cummax(L + s))`` — and
+        because the caller charges segments in arrival order the
+        ``L_k`` are non-decreasing, the cummax collapses to the tail:
+        ``max(f_0, L_last + s)``, one comparison for the entire run.
+        Busy time replays the per-segment addition chain (each step is
+        ``count_k * s``, a single rounding) so the float accounting
+        matches the sequential loop bit for bit; byte and grant
+        counters are integers and sum exactly.
+        """
+        k = len(counts)
+        if k == 0:
+            return
+        table = self.write_table if write else self.read_table
+        service = table.time_ns(nbytes)
+        # max() rather than the tail entry keeps the collapse exact
+        # even for a caller that violates arrival order.
+        tail = float(last_starts[k - 1] if k == 1 else max(last_starts))
+        end = tail + service
+        if end > self._free_at:
+            self._free_at = end
+        busy = self._busy_ns
+        total = 0
+        for c in counts:
+            busy += c * service
+            total += c
+        self._busy_ns = busy
+        self._bytes += total * nbytes
+        self._grants += total
+
     def snapshot(self) -> dict:
         """Accounting as a dict (metrics snapshot protocol)."""
         return {

@@ -258,6 +258,106 @@ def chain_repeat(x: float, deltas: Sequence[float], n: int,
     return x, mids
 
 
+def chain_repeat_arr(x: float, deltas: Sequence[float], n: int,
+                     mid_index: int) -> Tuple[float, np.ndarray]:
+    """Like :func:`chain_repeat` but returns the mids as a float64
+    ndarray, for callers (the buffer pool's vectorised session lane)
+    that scatter the per-cycle timestamps straight into pid-indexed
+    arrays instead of walking a Python list.
+
+    Mirrors :func:`chain_repeat` step for step — the ladder chunks are
+    produced as arrays internally, so collecting them avoids both the
+    ``tolist()`` inside the ladder and the list-to-array conversion a
+    caller would otherwise pay.  Bit-identical to the scalar loop (and
+    therefore to :func:`chain_repeat`) in both the final value and
+    every mid.
+    """
+    if n <= 0:
+        return x, np.empty(0, dtype=np.float64)
+    deltas = tuple(deltas)
+    if (not deltas or x < 0.0 or not math.isfinite(x)
+            or any(not math.isfinite(d) or d <= 0.0 for d in deltas)):
+        mids: List[float] = []
+        return (_chain_scalar(x, deltas, n, mid_index, mids),
+                np.asarray(mids, dtype=np.float64))
+    specs = []
+    for d in deltas:
+        ad, bd = d.as_integer_ratio()
+        specs.append((ad, bd.bit_length() - 1))
+    chunks: List[np.ndarray] = []
+    scal: List[float] = []
+
+    def flush_scal() -> None:
+        if scal:
+            chunks.append(np.asarray(scal, dtype=np.float64))
+            scal.clear()
+
+    while n:
+        if n < 8:
+            x = _chain_scalar(x, deltas, n, mid_index, scal)
+            n = 0
+            break
+        u = math.ulp(x)
+        s = math.frexp(u)[1] - 1
+        ax, bx = x.as_integer_ratio()
+        sx = -s - (bx.bit_length() - 1)
+        m = ax << sx if sx >= 0 else ax >> -sx
+        p = m & 1
+        c_p, mid_p, hi_p = _cycle_profile(p, specs, s, mid_index)
+        if c_p & 1 == 0:
+            if c_p == 0 and hi_p == 0:
+                flush_scal()
+                chunks.append(np.full(n, x, dtype=np.float64))
+                n = 0
+                break
+            span = max(c_p, hi_p, 1)
+            k = (_TOP - m - (hi_p if hi_p > c_p else 0)) // span
+            if k <= 0:
+                x = _chain_scalar(x, deltas, 1, mid_index, scal)
+                n -= 1
+                continue
+            if k > n:
+                k = n
+            grid = np.arange(k, dtype=np.float64)
+            flush_scal()
+            chunks.append(((float(m + mid_p) + float(c_p) * grid)
+                           * math.ldexp(1.0, s)))
+            m += k * c_p
+            n -= k
+            x = math.ldexp(float(m), s)
+            continue
+        c_q, mid_q, hi_q = _cycle_profile(1 - p, specs, s, mid_index)
+        if c_q & 1 == 0:
+            x = _chain_scalar(x, deltas, 1, mid_index, scal)
+            n -= 1
+            continue
+        pair = c_p + c_q
+        hi = max(hi_p, c_p + hi_q, pair)
+        k2 = (_TOP - m - hi) // max(pair, 1)
+        if k2 <= 0 or n < 2:
+            x = _chain_scalar(x, deltas, 1, mid_index, scal)
+            n -= 1
+            continue
+        if k2 > n // 2:
+            k2 = n // 2
+        grid = np.arange(k2, dtype=np.float64)
+        scale = math.ldexp(1.0, s)
+        out = np.empty(2 * k2, dtype=np.float64)
+        out[0::2] = (float(m + mid_p) + float(pair) * grid) * scale
+        out[1::2] = (float(m + c_p + mid_q) + float(pair) * grid) * scale
+        flush_scal()
+        chunks.append(out)
+        m += k2 * pair
+        n -= 2 * k2
+        x = math.ldexp(float(m), s)
+    flush_scal()
+    if not chunks:
+        return x, np.empty(0, dtype=np.float64)
+    if len(chunks) == 1:
+        return x, chunks[0]
+    return x, np.concatenate(chunks)
+
+
 TWO52 = 1 << 52
 
 

@@ -174,6 +174,23 @@ def accesses_to_blocks(trace, block_ops: int = BLOCK_OPS
         yield AccessBlock.from_accesses(buffer)
 
 
+def whole_trace_block(trace) -> AccessBlock | None:
+    """Pack an all-scalar list trace into one block, or ``None``.
+
+    The fast-path twin of an unchunked ``accesses_to_blocks`` for the
+    common case — a materialised list of :class:`Access` — it skips
+    the per-item buffering loop and columnarises directly. The type
+    scan (one C-level pass) keeps the semantics exact: any list that
+    mixes in blocks or duck-typed accesses returns ``None`` and the
+    caller falls back to the generic adapter, preserving per-block run
+    boundaries.
+    """
+    if (type(trace) is not list or not trace
+            or set(map(type, trace)) != {Access}):
+        return None
+    return AccessBlock.from_accesses(trace)
+
+
 class _BlockCursor:
     """Pull-based cursor over one trace, normalised to block views.
 
@@ -298,6 +315,81 @@ class ShapeSegments:
             self._pending = item
             return True
         return False
+
+    def remaining_in_segment(self) -> int:
+        """Ops left in the current block-backed same-shape segment.
+
+        Returns 0 for scalar (coalesced) deliveries — their run length
+        is unknowable without consuming — and once the trace is
+        exhausted. The concurrent scheduler's quantum escalation uses
+        this to size a bulk quantum without disturbing the cursor.
+        """
+        if self._ids is None:
+            if self._pending is not None or not self._advance():
+                return 0
+            if self._ids is None:
+                return 0
+        return self._bounds[self._seg] - self._pos
+
+    def peek_run(self, count: int):
+        """View the next *count* accesses without consuming them.
+
+        Only valid after :meth:`remaining_in_segment` returned at
+        least *count*; yields ``(page_ids, nbytes, write, is_scan,
+        think_ns)`` with ``page_ids`` a zero-copy slice — the shape
+        the pool's escalation probe consumes.
+        """
+        start = self._pos
+        return (self._ids[start:start + count], self._sizes[start],
+                self._writes[start], self._scans[start],
+                self._thinks[start])
+
+    def next_span(self, max_ops: int):
+        """Up to *max_ops* accesses of the current block, crossing
+        shape-segment boundaries, as ``(ids, segs, count)``.
+
+        ``ids`` is the block's whole id column (never sliced — the
+        pool's quantum lane indexes it by segment bounds), ``segs`` a
+        list of ``(start, stop, nbytes, write, is_scan, think_ns)``
+        entries in trace order, and ``count`` the ops covered. Returns
+        ``None`` when the cursor sits on a scalar (coalesced) delivery
+        or the trace is exhausted; block boundaries cap the span, so a
+        caller with budget left simply calls again. Consuming
+        ``next_span`` then ``next_run`` in any interleaving walks the
+        identical access sequence.
+        """
+        if max_ops <= 0:
+            return None
+        if self._ids is None and not self._advance():
+            return None
+        ids = self._ids
+        if ids is None:
+            return None
+        bounds = self._bounds
+        nseg = len(bounds)
+        seg = self._seg
+        pos = self._pos
+        budget = max_ops
+        segs = []
+        while budget > 0:
+            seg_end = bounds[seg]
+            take = seg_end - pos
+            if take > budget:
+                take = budget
+            stop = pos + take
+            segs.append((pos, stop, self._sizes[pos],
+                         self._writes[pos], self._scans[pos],
+                         self._thinks[pos]))
+            budget -= take
+            pos = stop
+            if stop == seg_end:
+                seg += 1
+                if seg >= nseg:
+                    self._ids = None
+                    break
+        self._seg = seg
+        self._pos = pos
+        return ids, segs, max_ops - budget
 
     def next_run(self, max_ops: int):
         """The next same-shape run, capped at *max_ops* accesses."""

@@ -254,3 +254,27 @@ def test_cli_writes_report_and_checks(tmp_path, capsys):
     assert code == 0
     captured = capsys.readouterr()
     assert "scan" in captured.out
+
+
+def test_cli_profile_writes_reports(tmp_path, capsys):
+    out_dir = tmp_path / "profiles"
+    code = perfbench_main([
+        "--profile", "--benches", "scan,oltp-contended",
+        "--scale", str(SCALE), "--profile-dir", str(out_dir),
+        "--profile-top", "5", "--quiet",
+    ])
+    assert code == 0
+    for name in ("scan", "oltp-contended"):
+        path = out_dir / f"profile-{name}.txt"
+        assert path.exists()
+        text = path.read_text()
+        assert "sim_digest" in text
+        assert "cumulative" in text and "tottime" in text
+    assert "profile written" in capsys.readouterr().out
+
+
+def test_cli_profile_unknown_bench_rejected(tmp_path):
+    assert perfbench_main([
+        "--profile", "--benches", "nope",
+        "--profile-dir", str(tmp_path),
+    ]) == 2
