@@ -30,7 +30,7 @@ sweep:
 		--jobs 4 --gate
 
 # Wall-clock microbenchmarks of the simulator fast lane, gated against
-# results/bench/BENCH_PR9.json (lane equivalence, digest identity,
+# results/bench/BENCH_PR10.json (lane equivalence, digest identity,
 # speedup floors). See docs/performance.md.
 perfbench:
 	$(PYTHON) -m repro perfbench --check

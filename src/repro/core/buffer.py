@@ -63,6 +63,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
+# np.unique lazy-imports numpy.ma on first call; hoist it so the
+# ~20 ms importlib walk lands at module import instead of inside the
+# first measured _latch_dirty call (it showed up in bench profiles).
+import numpy.ma  # noqa: F401
 
 from ..errors import BufferPoolError, PageFaultError
 from ..sim.bandwidth import WaitQueue
@@ -145,6 +149,12 @@ _RUN_MIN = 1
 #: float64, so addition chains of whole-nanosecond quantities that stay
 #: under it never round and commute freely (the integer-exact lane).
 _EXACT_LIMIT = 9007199254740992.0
+
+#: Minimum consecutive-miss run length worth the vectorised fault
+#: lane's setup (bulk placement probe, duplicate scan, phase/chain
+#: assembly); shorter miss bursts resolve through the scalar fault
+#: path, which is cheaper below this.
+_FAULT_MIN = 8
 
 
 @dataclass(slots=True)
@@ -724,6 +734,24 @@ class TieredBufferPool:
         self._ord_slot[page_id] = n
         self._ord_len = n + 1
 
+    def _ord_extend(self, page_ids: np.ndarray, tier_index: int) -> None:
+        """Bulk :meth:`_ord_add`: append a run of just-installed pages.
+
+        Same caller contract — every id is already in ``self._frames``,
+        so an overflow rebuild derives a complete index (including the
+        new pages). Below capacity the run lands as three slice
+        assignments and one dict update instead of k scalar appends."""
+        k = page_ids.shape[0]
+        n = self._ord_len
+        if n + k > self._ord_ids.shape[0]:
+            self._ord_rebuild()
+            return
+        self._ord_ids[n:n + k] = page_ids
+        self._ord_tier[n:n + k] = tier_index
+        self._ord_valid[n:n + k] = True
+        self._ord_slot.update(zip(page_ids.tolist(), range(n, n + k)))
+        self._ord_len = n + k
+
     @property
     def total_capacity_pages(self) -> int:
         """Sum of tier capacities."""
@@ -1083,7 +1111,19 @@ class TieredBufferPool:
             if boundary:
                 # The access that broke the window (fault or table-less
                 # tier) resolves scalar, after the flush above so it
-                # observes fully up-to-date state.
+                # observes fully up-to-date state — unless it heads a
+                # run of misses long enough for the bulk fault lane
+                # (three consecutive dict probes gate the columnarise).
+                if (frame is None and i + 2 < n
+                        and frames_get(seq[i + 1]) is None
+                        and frames_get(seq[i + 2]) is None):
+                    done = self._fault_list(seq, i, n, nbytes, write,
+                                            is_scan, think_ns, post_ns,
+                                            accum)
+                    if done is not None:
+                        i += done[0]
+                        accum = done[1]
+                        continue
                 if think_ns:
                     clock.advance(think_ns)
                 accum += self.access(seq[i], nbytes=nbytes, write=write,
@@ -1253,6 +1293,17 @@ class TieredBufferPool:
                 bad |= tierless[span]
             if bad.any():
                 hits = int(bad.argmax())
+                if hits == 0 and queues is None:
+                    # A miss run heads the window: try the bulk fault
+                    # lane before falling back to scalar resolution.
+                    done = self._fault_span(ids, i, n, nbytes, write,
+                                            is_scan, think_ns, post_ns,
+                                            accum)
+                    if done is not None:
+                        i += done[0]
+                        accum = done[1]
+                        res = self._res_tier
+                        continue
                 if 2 * int(bad.sum()) > wlen:
                     # Boundary-dense window (cold pool, thrash): the
                     # per-window gather cannot win, so delegate the
@@ -1461,6 +1512,23 @@ class TieredBufferPool:
                 i += 1
                 res = self._res_tier
         return accum
+
+    def preload(self, page_ids, nbytes: int = CACHE_LINE,
+                write: bool = False, is_scan: bool = False,
+                think_ns: float = 0.0) -> float:
+        """Array-native warm-up: charge one uniform run of *page_ids*.
+
+        Exactly :meth:`access_run` on the columnarised ids — cold-pool
+        faults resolve through the bulk fault lane instead of the
+        per-page scalar chain — provided for benchmark builders, churn
+        drivers, and :meth:`ScaleUpEngine.warm_with` callers holding
+        plain python id lists. Pool state afterwards (residency,
+        stats, device counters, clock, recency order) is byte-identical
+        to the scalar access loop over the same ids.
+        """
+        ids = np.ascontiguousarray(np.asarray(page_ids, dtype=np.int64))
+        return self.access_run(ids, nbytes=nbytes, write=write,
+                               is_scan=is_scan, think_ns=think_ns)
 
     def access_run(self, page_ids: np.ndarray, nbytes: int = CACHE_LINE,
                    write: bool = False, is_scan: bool = False,
@@ -1968,7 +2036,28 @@ class TieredBufferPool:
             else:
                 k = sp.shape[0]
             if k == 0:
-                # Fault or table-less tier at the window head: scalar.
+                # Fault or table-less tier at the window head: try the
+                # bulk fault lane on a true miss — the run is cut at
+                # the current uniform-shape segment's end and the first
+                # think-class change, the two axes _fault_span holds
+                # constant — then fall back to scalar.
+                if int(sp[0]) < 0:
+                    si = int(np.searchsorted(seg_starts, j, side="right"))
+                    fend = (int(seg_starts[si])
+                            if si < seg_starts.shape[0] else n)
+                    if nt_t > 1:
+                        tv = tinv[j:fend]
+                        dfi = np.nonzero(tv != tv[0])[0]
+                        if dfi.size:
+                            fend = j + int(dfi[0])
+                    done = self._fault_span(
+                        ids_nd, j, fend, int(sizes_nd[j]),
+                        bool(writes_nd[j]), bool(scans_nd[j]),
+                        float(tvals[int(tinv[j])]), 0.0, accum)
+                    if done is not None:
+                        j += done[0]
+                        accum = done[1]
+                        continue
                 t = float(thinks_nd[j])
                 if t:
                     clock.advance(t)
@@ -2274,6 +2363,17 @@ class TieredBufferPool:
                         flush_lean()
                     else:
                         win_room = 0
+                    if frame is None:
+                        # A true miss: hand the rest of the segment to
+                        # the bulk fault lane (it consumes the leading
+                        # miss run or declines).
+                        done = self._fault_span(ids_nd, j, b, nb, w,
+                                                sc, t, 0.0, accum)
+                        if done is not None:
+                            j += done[0]
+                            accum = done[1]
+                            p_start = j
+                            continue
                     if t:
                         clock.advance(t)
                     accum += self.access(pid, nbytes=nb, write=w,
@@ -2388,6 +2488,448 @@ class TieredBufferPool:
 
     # -- fault path ----------------------------------------------------------------
 
+    @staticmethod
+    def _policy_insert_batch(policy, keys: list) -> None:
+        """Insert a run of new keys into a replacement policy (batch
+        API when available, scalar loop otherwise) — equivalent to a
+        :meth:`record_insert` loop in key order."""
+        batch = getattr(policy, "record_insert_batch", None)
+        if batch is not None:
+            batch(keys)
+        else:
+            insert = policy.record_insert
+            for key in keys:
+                insert(key)
+
+    def _fault_list(self, seq, i: int, n: int, nbytes: int, write: bool,
+                    is_scan: bool, think_ns: float, post_ns: float,
+                    accum: float) -> tuple[int, float] | None:
+        """Bulk-resolve a miss run arriving as a python sequence (the
+        batched lane's boundary path): columnarise a bounded window,
+        validate the id range, and hand it to :meth:`_fault_span`."""
+        end = i + 4096
+        if end > n:
+            end = n
+        if end - i < _FAULT_MIN:
+            return None
+        arr = np.asarray(seq[i:end], dtype=np.int64)
+        if int(arr.min()) < 0 or int(arr.max()) >= _RES_MAX_PIDS:
+            return None
+        hi = int(arr.max())
+        if hi >= self._res_tier.shape[0]:
+            self._res_grow(hi + 1)
+        return self._fault_span(arr, 0, arr.shape[0], nbytes, write,
+                                is_scan, think_ns, post_ns, accum)
+
+    def _fault_span(self, ids: np.ndarray, start: int, stop: int,
+                    nbytes: int, write: bool, is_scan: bool,
+                    think_ns: float, post_ns: float,
+                    accum: float) -> tuple[int, float] | None:
+        """Resolve a run of consecutive misses in array ops.
+
+        Returns ``(consumed, accum)`` after charging ``consumed``
+        faults bit-identically to the scalar loop (think advance,
+        :meth:`access` on a miss, post advance), or ``None`` when the
+        run is ineligible and the caller must fall back to the scalar
+        fault path. The caller guarantees every id in
+        ``ids[start:stop]`` indexes inside the dense residency table.
+
+        The run is cut to the placement headroom window, the leading
+        all-miss prefix, and the first repeated id (its second
+        occurrence is a hit once installed). Admit tiers for the whole
+        run come back from one
+        :meth:`PlacementPolicy.choose_admit_tiers` call, and the run
+        decomposes into *phases*: a fill phase while the admit tier has
+        free frames, then eviction phases whose demotion cascade is
+        structurally constant until the terminal destination fills.
+        Within a phase every per-fault latency is one of at most two
+        constants (clean/dirty terminal victim), so the four scalar
+        float accumulators (clock, fault time, demand, the caller's
+        accumulator) replay exactly through
+        :func:`~repro.sim.ladder.chain_values`, and victim selection
+        drains through :meth:`ReplacementPolicy.victim_batch` — exact
+        because LRU victims are the first *k* keys of the initial
+        recency order whenever a chunk is no longer than each source
+        tier's population, and demoted/installed pages land at the MRU
+        end where a chunk that size can never reach them.
+
+        Bail-outs, each checked *before* any state change so a partial
+        run is always a clean prefix: session lane, tracing, pins,
+        no/unhealthy backing, placement without a bulk answer, a
+        non-LRU policy on a cascade tier, cyclic demotion chains, and
+        dirty victims missing from the backing file (the anonymous
+        writeback path).
+        """
+        if (self._session_clock is not None
+                or self._session_queues is not None
+                or self._trace.enabled
+                or self._pinned_frames):
+            return None
+        backing = self.backing
+        if backing is None or not backing.device.healthy:
+            return None
+        choose = getattr(self.placement, "choose_admit_tiers", None)
+        headroom_fn = self._placement_headroom
+        if choose is None or headroom_fn is None:
+            return None
+        room = headroom_fn()
+        if room <= 0:
+            return None
+        end = start + room
+        if end > stop:
+            end = stop
+        if end - start < _FAULT_MIN:
+            return None
+        res = self._res_tier
+        seg = ids[start:end]
+        miss = res[seg] < 0
+        mlen = seg.shape[0] if miss.all() else int(miss.argmin())
+        if mlen < _FAULT_MIN:
+            return None
+        run = seg[:mlen]
+        # Cut at the first page id that repeats inside the run: its
+        # second occurrence is a hit once the first installs.
+        order = np.argsort(run, kind="stable")
+        sv = run[order]
+        dup = sv[1:] == sv[:-1]
+        if dup.any():
+            mlen = int(order[1:][dup].min())
+            if mlen < _FAULT_MIN:
+                return None
+            run = run[:mlen]
+        if self._lazy_runs:
+            self._drain_lazy()
+        adm = choose(run, is_scan)
+        if adm is None:
+            return None
+        adm = np.asarray(adm, dtype=np.int64)
+        ntier = len(self.tiers)
+        if (adm.shape[0] != mlen or int(adm.min()) < 0
+                or int(adm.max()) >= ntier):
+            return None
+        tiers = self.tiers
+        counts = self._resident_counts
+        frames = self._frames
+        stats = self.stats
+        per_tier = stats.per_tier
+        page_size = self.page_size
+        demote_target = self.placement.demote_target
+        device = backing.device
+        bsize = backing.page_size
+        bmemo = self._back_rd
+        io = bmemo[1] if (bmemo is not None and bmemo[0] is device) \
+            else None
+        # Admit-tier segment boundaries, precomputed so the phase loop
+        # never rescans the tail.
+        achg = np.nonzero(adm[1:] != adm[:-1])[0]
+        aseg = np.empty(achg.shape[0] + 2, dtype=np.int64)
+        aseg[0] = 0
+        aseg[1:-1] = achg + 1
+        aseg[-1] = mlen
+        ai = 0
+        pos = 0
+        clock = self.clock
+        # The clock interleaves [think,] L [, post] per fault; the
+        # other three accumulators only ever add L. Chunk chains feed
+        # each other sequentially, so per-chunk chain_values calls
+        # reproduce the one long scalar addition sequence exactly.
+        pieces = 1 + (1 if think_ns else 0) + (1 if post_ns else 0)
+        while pos < mlen:
+            while aseg[ai + 1] <= pos:
+                ai += 1
+            sub = int(aseg[ai + 1]) - pos
+            A = int(adm[pos])
+            tier_a = tiers[A]
+            cap_a = tier_a.capacity_pages
+            free_a = cap_a - counts[A]
+            chain: list[int] | None = None
+            term_dst = -1
+            if free_a > 0:
+                m = sub if sub < free_a else free_a
+            else:
+                # Walk the demotion cascade from A; it is structurally
+                # constant for the chunk (every chain tier is full and
+                # stays full — each loses m victims, gains m pages).
+                chain = [A]
+                src = A
+                ok = True
+                while True:
+                    d = demote_target(src)
+                    if d is None or d == src:
+                        break                    # storage-terminal
+                    if not 0 <= d < ntier:
+                        ok = False
+                        break
+                    if counts[d] < tiers[d].capacity_pages:
+                        term_dst = d             # tier-terminal
+                        break
+                    if d in chain:
+                        ok = False               # cyclic: scalar's job
+                        break
+                    chain.append(d)
+                    src = d
+                if ok:
+                    for t in chain:
+                        if type(tiers[t].policy) is not LRUPolicy:
+                            ok = False
+                            break
+                if not ok:
+                    break
+                m = sub
+                if term_dst >= 0:
+                    free_d = (tiers[term_dst].capacity_pages
+                              - counts[term_dst])
+                    if m > free_d:
+                        m = free_d
+                # Order-equivalence bound: a chunk may not outrun any
+                # source tier's current population (victims must all
+                # come from the initial recency order).
+                chunk = min(counts[t] for t in chain)
+                if m > chunk:
+                    m = chunk
+                if m <= 0:
+                    break
+                term = chain[-1]
+                if term_dst < 0:
+                    # Validate the storage-terminal victims before any
+                    # mutation: a dirty victim outside the backing file
+                    # takes the anonymous-writeback path, which the
+                    # bulk lane does not model.
+                    planned = tiers[term].policy.peek_batch(m)
+                    if len(planned) < m:
+                        break
+                    dirty_flags = [frames[v].dirty for v in planned]
+                    if any(dirty_flags):
+                        contains = backing.contains
+                        if any(df and not contains(v) for v, df
+                               in zip(planned, dirty_flags)):
+                            break
+            sub_run = run[pos:pos + m]
+            # Backing-read + install-write charges for the chunk: the
+            # memo protocol of the scalar path — one real stat-bumping
+            # call seeds the constant, replays bump device stats.
+            dstats = device.stats
+            if io is None:
+                io = device.read_time(bsize)
+                self._back_rd = (device, io, bsize)
+                dstats.reads += m - 1
+                dstats.read_bytes += (m - 1) * bsize
+            else:
+                dstats.reads += m
+                dstats.read_bytes += m * bsize
+            inst = self._inst_wr.get(A)
+            if inst is None:
+                inst = tier_a.path.write_time(page_size)
+                self._inst_wr[A] = inst
+                rep = m - 1
+            else:
+                rep = m
+            if rep:
+                istats = tier_a.path.device.stats
+                istats.stores += rep
+                istats.store_bytes += rep * page_size
+            df_arr = None
+            if chain is None:
+                # Fill phase: L = (io + 0.0) + inst, one class.
+                l_clean = (io + 0.0) + inst
+                l_dirty = l_clean
+            else:
+                # Eviction cascade: replay the per-edge migration
+                # charges (memo-seeded), drain victims per source
+                # tier, then compose the make-room constant by
+                # unwinding the chain from its terminal.
+                edges = list(zip(chain, chain[1:]))
+                if term_dst >= 0:
+                    edges.append((chain[-1], term_dst))
+                rw_vals = []
+                for s_t, d_t in edges:
+                    rw = self._mig_rw.get((s_t, d_t))
+                    if rw is None:
+                        rw = (tiers[s_t].path.read_time(page_size),
+                              tiers[d_t].path.write_time(page_size))
+                        self._mig_rw[(s_t, d_t)] = rw
+                        erep = m - 1
+                    else:
+                        erep = m
+                    if erep:
+                        s_stats = tiers[s_t].path.device.stats
+                        s_stats.loads += erep
+                        s_stats.load_bytes += erep * page_size
+                        d_stats = tiers[d_t].path.device.stats
+                        d_stats.stores += erep
+                        d_stats.store_bytes += erep * page_size
+                    rw_vals.append(rw)
+                if term_dst < 0:
+                    evt = self._evt_rd.get(term)
+                    if evt is None:
+                        evt = tiers[term].path.read_time(page_size)
+                        self._evt_rd[term] = evt
+                        erep = m - 1
+                    else:
+                        erep = m
+                    if erep:
+                        t_stats = tiers[term].path.device.stats
+                        t_stats.loads += erep
+                        t_stats.load_bytes += erep * page_size
+                # Victim selection: first-m keys per tier, removed.
+                vlists = [tiers[t].policy.victim_batch(m)
+                          for t in chain]
+                # Demote each non-terminal tier's victims one edge
+                # down (frames keep dirty flags; inserts land in exact
+                # scalar order at the MRU end).
+                slot_map = self._ord_slot
+                ord_tier = self._ord_tier
+                ndemote = len(edges)
+                for ei in range(ndemote):
+                    d_t = edges[ei][1]
+                    vs = vlists[ei] if ei < len(vlists) else vlists[-1]
+                    self._policy_insert_batch(tiers[d_t].policy, vs)
+                    for v in vs:
+                        frames[v].tier_index = d_t
+                        slot = slot_map.get(v)
+                        if slot is not None:
+                            ord_tier[slot] = d_t
+                    va = np.asarray(vs, dtype=np.int64)
+                    inb = va[(va >= 0) & (va < res.shape[0])]
+                    res[inb] = d_t
+                    stats.migrations += m
+                    per_tier[d_t].demotions_in += m
+                wb = None
+                if term_dst < 0:
+                    # Storage-terminal: the deepest tier's victims
+                    # leave the pool (real write_page per dirty one).
+                    vterm = vlists[-1]
+                    per_tier[term].evictions += m
+                    pend = self._pend_acc
+                    psize = pend.shape[0]
+                    ord_valid = self._ord_valid
+                    slot_pop = slot_map.pop
+                    write_page = backing.write_page
+                    ndirty = 0
+                    for v, df in zip(vterm, dirty_flags):
+                        fr = frames.pop(v)
+                        slot = slot_pop(v, None)
+                        if slot is not None:
+                            ord_valid[slot] = False
+                        if v < psize:
+                            pend[v] = 0
+                        if df:
+                            ndirty += 1
+                            wb = write_page(fr.page)
+                    if ndirty:
+                        stats.writebacks += ndirty
+                    va = np.asarray(vterm, dtype=np.int64)
+                    inb = va[(va >= 0) & (va < res.shape[0])]
+                    res[inb] = -1
+                else:
+                    counts[term_dst] += m
+                # Every chain tier nets to zero residents (m victims
+                # out, m demotions/installs in); only the terminal
+                # destination grows. Peak high-water marks follow the
+                # post-install counts exactly as the scalar updates do.
+                for _s_t, d_t in edges:
+                    pt = per_tier[d_t]
+                    if counts[d_t] > pt.resident_peak:
+                        pt.resident_peak = counts[d_t]
+                # Compose E by unwinding from the chain terminal, then
+                # M = 0.0 + E (the _make_room accumulator), exactly as
+                # the scalar recursion associates.
+                if term_dst < 0:
+                    e_clean = evt
+                    inner = rw_vals
+                else:
+                    rd_l, wr_l = rw_vals[-1]
+                    e_clean = (0.0 + rd_l) + wr_l
+                    inner = rw_vals[:-1]
+                for rd_l, wr_l in reversed(inner):
+                    e_clean = ((0.0 + e_clean) + rd_l) + wr_l
+                l_clean = (io + (0.0 + e_clean)) + inst
+                if term_dst < 0 and wb is not None:
+                    e_dirty = evt + wb
+                    for rd_l, wr_l in reversed(inner):
+                        e_dirty = ((0.0 + e_dirty) + rd_l) + wr_l
+                    l_dirty = (io + (0.0 + e_dirty)) + inst
+                    df_arr = np.asarray(dirty_flags)
+                    if df_arr.all():
+                        l_clean = l_dirty
+                        df_arr = None
+                else:
+                    l_dirty = l_clean
+            # Charge the chunk: the clock's interleaved chain plus the
+            # three L-only accumulator chains, all exact replays.
+            vals_c = np.array([think_ns, post_ns, l_clean, l_dirty])
+            if df_arr is None:
+                lcls = np.full(m, 2, dtype=np.int64)
+            else:
+                lcls = np.where(df_arr, 3, 2)
+            now0 = clock._now
+            if pieces == 1:
+                cls_c = lcls
+            else:
+                cls_c = np.empty(pieces * m, dtype=np.int64)
+                off = 0
+                if think_ns:
+                    cls_c[0::pieces] = 0
+                    off = 1
+                cls_c[off::pieces] = lcls
+                if post_ns:
+                    cls_c[off + 1::pieces] = 1
+            out_c = np.empty(cls_c.shape[0], dtype=np.float64)
+            clock._now = chain_values(now0, vals_c, cls_c, out_c)
+            # Frame.touch timestamps: the clock value after the think
+            # advance (post-think, pre-latency), as the scalar takes.
+            if think_ns:
+                ts = out_c[0::pieces]
+            else:
+                ts = np.empty(m, dtype=np.float64)
+                ts[0] = now0
+                if m > 1:
+                    ts[1:] = out_c[pieces - 1::pieces][:m - 1]
+            scratch = np.empty(m, dtype=np.float64)
+            stats.fault_time_ns = chain_values(stats.fault_time_ns,
+                                               vals_c, lcls, scratch)
+            stats.demand_time_ns = chain_values(stats.demand_time_ns,
+                                                vals_c, lcls, scratch)
+            accum = chain_values(accum, vals_c, lcls, scratch)
+            stats.accesses += m
+            stats.misses += m
+            # Bulk install into the admit tier, frames fully
+            # materialised (touch stats included) so later chunks'
+            # victim checks and direct frame readers see exactly the
+            # scalar-eager state. Frames land before the order-index
+            # append so an overflow rebuild already includes them.
+            ensure = backing.ensure
+            for pid, tsv in zip(sub_run.tolist(), ts.tolist()):
+                frames[pid] = Frame(page=ensure(pid), tier_index=A,
+                                    dirty=write, last_access_ns=tsv,
+                                    accesses=1)
+            res[sub_run] = A
+            self._dirty_mirror[sub_run] = False
+            self._ord_extend(sub_run, A)
+            if chain is None:
+                counts[A] += m
+            self._policy_insert_batch(tier_a.policy, sub_run.tolist())
+            pt = per_tier[A]
+            if counts[A] > pt.resident_peak:
+                pt.resident_peak = counts[A]
+            pos += m
+        if pos == 0:
+            return None
+        k = pos
+        # Temperature + placement feeds for the consumed window, in
+        # run order (nothing reads either mid-window; the tracker's
+        # and placement's own updates depend only on their input
+        # sequences, so front/back-loading around the run is exact).
+        tracker_batch = self._tracker_batch
+        if tracker_batch is not None:
+            tracker_batch(ids, start, start + k, is_scan)
+        else:
+            record = self.tracker.record
+            for pid in run[:k].tolist():
+                record(pid, is_scan=is_scan)
+        self._placement_note(ids, start, start + k, is_scan)
+        return k, accum
+
     def _fault(self, page_id: PageId, is_scan: bool = False) -> float:
         """Bring a page in from backing storage; returns elapsed ns."""
         page, io_time = self._read_backing(page_id)
@@ -2461,11 +3003,19 @@ class TieredBufferPool:
         return frame
 
     def _make_room(self, tier_index: int) -> float:
-        """Ensure one free frame in a tier; returns elapsed ns."""
+        """Ensure one free frame in a tier; returns elapsed ns.
+
+        Reads ``_resident_counts`` directly — the list every eviction
+        and install mutates in place — instead of re-calling
+        :meth:`tier_residents` per loop iteration. ``drop_all`` is the
+        only writer that rebinds the list and cannot run mid-eviction,
+        so the hoisted reference stays live across the loop.
+        """
         elapsed = 0.0
         guard = 0
-        while self.tier_residents(tier_index) >= \
-                self.tiers[tier_index].capacity_pages:
+        counts = self._resident_counts
+        capacity = self.tiers[tier_index].capacity_pages
+        while counts[tier_index] >= capacity:
             guard += 1
             if guard > self.total_capacity_pages + 1:
                 raise BufferPoolError("eviction livelock")

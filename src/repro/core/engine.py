@@ -519,5 +519,21 @@ class ScaleUpEngine:
         """Run a trace purely to populate the pool (report discarded)."""
         self.run(trace, label=f"{self.name}-warmup")
 
+    def preload(self, page_ids, nbytes: int | None = None,
+                write: bool = False, is_scan: bool = False,
+                think_ns: float = 0.0) -> None:
+        """Array-native warm-up: charge one uniform run of page ids.
+
+        The id array routes straight into the pool's bulk lanes —
+        cold-pool faults resolve through the vectorised fault lane
+        instead of one scalar chain per page — leaving pool state
+        byte-identical to :meth:`warm_with` on the equivalent scalar
+        trace (same ids, same shape). *nbytes* defaults to the pool's
+        cache-line access size, matching ``Access()`` defaults.
+        """
+        kwargs = {} if nbytes is None else {"nbytes": nbytes}
+        self.pool.preload(page_ids, write=write, is_scan=is_scan,
+                          think_ns=think_ns, **kwargs)
+
     def __repr__(self) -> str:
         return f"ScaleUpEngine({self.name!r}, pool={self.pool!r})"

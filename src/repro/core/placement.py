@@ -37,6 +37,19 @@ class PlacementPolicy(Protocol):
     def choose_admit_tier(self, page_id: int, is_scan: bool = False) -> int:
         """Tier index for a freshly faulted page."""
 
+    def choose_admit_tiers(self, page_ids: "np.ndarray",
+                           is_scan: bool = False) -> "np.ndarray | None":
+        """Admit tiers for a run of distinct fresh faults, as one int
+        array — or None when the policy cannot answer in bulk.
+
+        The contract: element *i* must equal what
+        :meth:`choose_admit_tier` would have returned for
+        ``page_ids[i]`` with the first *i* pages of the run already
+        installed (each install raising its tier's resident count by
+        one; a full admit tier stays full because the eviction cascade
+        frees a slot before the install lands). Returning None sends
+        the whole run down the scalar fault path — always correct."""
+
     def on_access(self, page_id: int, tier_index: int,
                   is_scan: bool = False) -> None:
         """Observe an access; may migrate pages as a side effect."""
@@ -84,6 +97,37 @@ class _BasePolicy:
         through :meth:`on_access`."""
         return 0
 
+    def choose_admit_tiers(self, page_ids: np.ndarray,
+                           is_scan: bool = False) -> np.ndarray | None:
+        """Conservative default: no bulk answer, scalar fault path."""
+        del page_ids, is_scan
+        return None
+
+    def _fill_then_steady(self, n: int, steady_tier: int) -> np.ndarray:
+        """Admit tiers for *n* first-with-headroom admissions.
+
+        Models the install feedback exactly: tier *i* receives its
+        current free-slot count of admissions, then the run moves to
+        tier *i+1*; once every tier is full each further fault admits
+        to *steady_tier* (whose eviction cascade keeps counts pinned,
+        so the answer never changes again)."""
+        pool = self.pool
+        frees = [
+            max(0, tier.capacity_pages - pool.tier_residents(index))
+            for index, tier in enumerate(pool.tiers)
+        ]
+        total_free = sum(frees)
+        if total_free == 0:
+            return np.full(n, steady_tier, dtype=np.int64)
+        fill = np.repeat(
+            np.arange(len(frees), dtype=np.int64),
+            np.minimum(frees, n),
+        )[:n]
+        if fill.shape[0] >= n:
+            return fill
+        steady = np.full(n - fill.shape[0], steady_tier, dtype=np.int64)
+        return np.concatenate([fill, steady])
+
     def note_accesses(self, page_ids: Sequence[int], start: int,
                       end: int, is_scan: bool = False) -> None:
         """Unreachable under the zero default headroom."""
@@ -124,6 +168,18 @@ class StaticPolicy(_BasePolicy):
         del is_scan
         tier = self.classifier(page_id)
         return max(0, min(tier, len(self.pool.tiers) - 1))
+
+    def choose_admit_tiers(self, page_ids: np.ndarray,
+                           is_scan: bool = False) -> np.ndarray | None:
+        """Classifier per id (state-independent, so the run needs no
+        install feedback), clamped in one vector op."""
+        del is_scan
+        classify = self.classifier
+        tiers = np.fromiter(
+            (classify(pid) for pid in page_ids.tolist()),
+            dtype=np.int64, count=page_ids.shape[0],
+        )
+        return np.clip(tiers, 0, len(self.pool.tiers) - 1)
 
     def on_access(self, page_id: int, tier_index: int,
                   is_scan: bool = False) -> None:
@@ -187,6 +243,14 @@ class OSPagingPolicy(_BasePolicy):
             if pool.tier_residents(index) < tier.capacity_pages:
                 return index
         return len(pool.tiers) - 1
+
+    def choose_admit_tiers(self, page_ids: np.ndarray,
+                           is_scan: bool = False) -> np.ndarray | None:
+        """First-touch fill, then steady admission to the last tier
+        (once every tier is full the scalar loop always lands there)."""
+        del is_scan
+        return self._fill_then_steady(page_ids.shape[0],
+                                      len(self.pool.tiers) - 1)
 
     def on_access(self, page_id: int, tier_index: int,
                   is_scan: bool = False) -> None:
@@ -299,6 +363,15 @@ class DbCostPolicy(_BasePolicy):
             if pool.tier_residents(index) < tier.capacity_pages:
                 return index
         return 0
+
+    def choose_admit_tiers(self, page_ids: np.ndarray,
+                           is_scan: bool = False) -> np.ndarray | None:
+        """Scans admit straight to the slow tier (state-independent);
+        point faults fill first-with-headroom then steady at tier 0."""
+        pool = self.pool
+        if is_scan and self.scan_admit_slow and len(pool.tiers) > 1:
+            return np.ones(page_ids.shape[0], dtype=np.int64)
+        return self._fill_then_steady(page_ids.shape[0], 0)
 
     def on_access(self, page_id: int, tier_index: int,
                   is_scan: bool = False) -> None:

@@ -13,6 +13,7 @@ these policies are the engine-side machinery that claim rests on.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from itertools import islice
 from typing import Callable, Protocol, Sequence
 
 from ..errors import BufferPoolError
@@ -46,8 +47,36 @@ class ReplacementPolicy(Protocol):
     def victim(self, pinned: Pinned = _never_pinned) -> int | None:
         """Choose an evictable page, or None if all are pinned."""
 
+    def victim_batch(self, k: int,
+                     pinned: Pinned = _never_pinned) -> list[int]:
+        """Choose and *remove* up to *k* evictable pages.
+
+        Must return exactly the sequence that *k* rounds of
+        ``victim(pinned)`` followed by ``remove(victim)`` would have
+        produced (stopping early once every remaining page is pinned).
+        The bulk fault lane drains whole eviction deficits through this
+        in one call; policies with cheap ordered state should override
+        the generic loop with an O(k) pop."""
+
     def __len__(self) -> int:
         """Number of tracked pages."""
+
+
+def _victim_batch_generic(policy: "ReplacementPolicy", k: int,
+                          pinned: Pinned) -> list[int]:
+    """Reference victim_batch: k rounds of victim-then-remove.
+
+    Used by policies whose victim choice mutates state (e.g. CLOCK's
+    sweeping hand) — there is no shortcut that preserves the exact
+    victim sequence, so the batch is just the loop, hoisted."""
+    victims: list[int] = []
+    for _ in range(k):
+        key = policy.victim(pinned)
+        if key is None:
+            break
+        policy.remove(key)
+        victims.append(key)
+    return victims
 
 
 class LRUPolicy:
@@ -61,6 +90,27 @@ class LRUPolicy:
         if key in self._order:
             raise BufferPoolError(f"duplicate insert of {key}")
         self._order[key] = None
+
+    def record_insert_batch(self, keys: Sequence[int]) -> None:
+        """Track a run of new pages, in order — equivalent to a
+        :meth:`record_insert` loop (each lands at the MRU end)."""
+        order = self._order
+        before = len(order)
+        run = keys if type(keys) is list else list(keys)
+        for key in run:
+            order[key] = None
+        if len(order) != before + len(run):
+            # Rare error path: some key was already tracked (or the
+            # batch repeated one). Find it for the same diagnostic the
+            # scalar loop raises; state is already corrupt either way.
+            seen: set[int] = set()
+            for key in run:
+                if key in seen:
+                    raise BufferPoolError(f"duplicate insert of {key}")
+                seen.add(key)
+            raise BufferPoolError(
+                f"duplicate insert in batch of {len(run)} keys"
+            )
 
     def record_access(self, key: int) -> None:
         """Move a page to the MRU end."""
@@ -114,6 +164,38 @@ class LRUPolicy:
             if not pinned(key):
                 return key
         return None
+
+    def victim_batch(self, k: int,
+                     pinned: Pinned = _never_pinned) -> list[int]:
+        """Pop the k least-recently-used unpinned pages in one O(k)
+        sweep.
+
+        Order-equivalence to k repeated ``victim()`` + ``remove()``
+        rounds: each round takes the first unpinned key of the order,
+        and removing it leaves the relative order of every other key
+        unchanged — so the k-round sequence is exactly the first k
+        unpinned keys of the initial order, front to back."""
+        order = self._order
+        if pinned is _never_pinned:
+            victims = list(islice(order, k))
+        else:
+            victims = []
+            for key in order:
+                if len(victims) >= k:
+                    break
+                if not pinned(key):
+                    victims.append(key)
+        for key in victims:
+            del order[key]
+        return victims
+
+    def peek_batch(self, k: int) -> list[int]:
+        """The first *k* keys of the recency order — exactly what
+        :meth:`victim_batch` with no pins would pop — *without*
+        removing them. Lets the bulk fault lane validate a planned
+        eviction chunk (dirty flags, backing containment) before
+        committing any state change."""
+        return list(islice(self._order, k))
 
     def __len__(self) -> int:
         return len(self._order)
@@ -177,6 +259,12 @@ class ClockPolicy:
             if not pinned(key):
                 return key
         return None
+
+    def victim_batch(self, k: int,
+                     pinned: Pinned = _never_pinned) -> list[int]:
+        """Generic batch: the sweep clears reference bits as it moves,
+        so victims must be chosen one sweep at a time."""
+        return _victim_batch_generic(self, k, pinned)
 
     def __len__(self) -> int:
         return len(self._ref)
@@ -242,6 +330,12 @@ class TwoQPolicy:
                     return key
         return None
 
+    def victim_batch(self, k: int,
+                     pinned: Pinned = _never_pinned) -> list[int]:
+        """Generic batch: the A1in/Am share shifts per removal, so the
+        queue preference must be re-evaluated every round."""
+        return _victim_batch_generic(self, k, pinned)
+
     def __len__(self) -> int:
         return len(self._a1in) + len(self._am)
 
@@ -301,6 +395,12 @@ class LRUKPolicy:
                 best_rank = rank
                 best_key = key
         return best_key
+
+    def victim_batch(self, k: int,
+                     pinned: Pinned = _never_pinned) -> list[int]:
+        """Generic batch: each removal can change which page holds the
+        oldest K-th reference, so ranks are re-scanned per round."""
+        return _victim_batch_generic(self, k, pinned)
 
     def __len__(self) -> int:
         return len(self._history)

@@ -37,7 +37,7 @@ import numpy as np
 from .. import config
 from ..core.buffer import Tier, TieredBufferPool
 from ..core.engine import EngineReport, ScaleUpEngine
-from ..core.placement import StaticPolicy
+from ..core.placement import OSPagingPolicy, StaticPolicy
 from ..core.sessions import ClientSession, SessionRunReport
 from ..errors import ConfigError
 from ..sim.context import SimContext
@@ -168,7 +168,8 @@ def _scan_builder(scale: float) -> tuple[ScaleUpEngine, list]:
         cxl_pages=pages + pages // 2,
         name="perf-scan",
     )
-    engine.warm_with(scan_trace(0, pages, repeats=1, think_ns=0.0))
+    engine.preload(np.arange(pages, dtype=np.int64),
+                   nbytes=PAGE_SIZE, is_scan=True)
     trace = list(scan_blocks(0, pages, repeats=repeats))
     return engine, trace
 
@@ -192,7 +193,8 @@ def _oltp_builder(scale: float) -> tuple[ScaleUpEngine, list]:
     )
     # Fault every page in, then heat the Zipf head so placement has
     # realistic temperatures (and live promotions) during the run.
-    engine.warm_with(scan_trace(0, pages, repeats=1, think_ns=0.0))
+    engine.preload(np.arange(pages, dtype=np.int64),
+                   nbytes=PAGE_SIZE, is_scan=True)
     engine.warm_with(ycsb_trace(YCSBConfig(
         mix="C", num_pages=pages, num_ops=min(ops, 4 * pages), seed=7,
     )))
@@ -223,8 +225,8 @@ def _htap_engine(scale: float) -> tuple[ScaleUpEngine, dict]:
         cxl_pages=olap_pages + olap_pages // 2,
         name="perf-htap",
     )
-    engine.warm_with(scan_trace(0, oltp_pages + olap_pages, repeats=1,
-                                think_ns=0.0))
+    engine.preload(np.arange(oltp_pages + olap_pages, dtype=np.int64),
+                   nbytes=PAGE_SIZE, is_scan=True)
     return engine, params
 
 
@@ -251,6 +253,36 @@ def _htap_blocks_builder(scale: float) -> tuple[ScaleUpEngine, list]:
     """
     engine, params = _htap_engine(scale)
     trace = list(mixed_htap_blocks(**params))
+    return engine, trace
+
+
+def _fault_storm_builder(scale: float) -> tuple[ScaleUpEngine, list]:
+    """Cold pool, repeated over-capacity scans, plus a write-heavy tail.
+
+    Every parameter conspires to make faults the dominant cost: the
+    pool starts empty (no ``warm_with``), the scan set is ~9x pool
+    capacity so each repeat re-faults everything through eviction and
+    demotion cascades, and the YCSB-A tail mixes zipfian writes over
+    the same cold range so dirty-writeback and short-run miss paths
+    stay exercised.  The fault lane resolves whole miss runs in array
+    ops (bulk backing reads, ``choose_admit_tiers``, ``victim_batch``
+    cascades, array installs); the compat lane walks the same faults
+    one page at a time.
+    """
+    pages = max(256, int(40_000 * scale))
+    engine = ScaleUpEngine.build(
+        dram_pages=max(64, int(512 * scale)),
+        cxl_pages=max(256, int(4_096 * scale)),
+        placement=OSPagingPolicy(),
+        name="perf-fault-storm",
+    )
+    trace = list(scan_blocks(0, pages, repeats=3))
+    trace += list(ycsb_blocks(YCSBConfig(
+        mix="A",
+        num_pages=pages,
+        num_ops=max(64, int(8_000 * scale)),
+        seed=13,
+    )))
     return engine, trace
 
 
@@ -328,7 +360,8 @@ def _contended_builder(scale: float) -> tuple[ScaleUpEngine, list]:
         placement=StaticPolicy(lambda _p: 1),
         name="perf-contended",
     )
-    engine.warm_with(scan_trace(0, total, repeats=1, think_ns=0.0))
+    engine.preload(np.arange(total, dtype=np.int64),
+                   nbytes=PAGE_SIZE, is_scan=True)
     chunk = 16
     sessions = []
     for index in range(num_sessions):
@@ -384,7 +417,8 @@ def _oltp_contended_builder(scale: float) -> tuple[ScaleUpEngine, list]:
     ops_per = max(256, int(2_200 * scale))
     total = num_sessions * pages_per
     engine = _two_expander_engine(total + 16, pages_per)
-    engine.warm_with(scan_trace(0, total, repeats=1, think_ns=0.0))
+    engine.preload(np.arange(total, dtype=np.int64),
+                   nbytes=PAGE_SIZE, is_scan=True)
     sessions = []
     for index in range(num_sessions):
         base = index * pages_per
@@ -534,6 +568,13 @@ MICROBENCHES: dict[str, BenchSpec] = {
                     " (coalescer worst case, block path)",
         min_speedup=5.0,
         runner=_engine_runner(_htap_blocks_builder, "htap-blocks"),
+    ),
+    "fault-storm": BenchSpec(
+        name="fault-storm",
+        description=("cold-scan fault storm: bulk fault resolution, "
+                     "eviction/demotion cascades, dirty writebacks"),
+        min_speedup=2.0,
+        runner=_engine_runner(_fault_storm_builder, "fault-storm"),
     ),
     "scan-contended": BenchSpec(
         name="scan-contended",

@@ -1,6 +1,6 @@
 """Perfbench runner: time microbenchmarks, write and gate reports.
 
-The committed baseline (``results/bench/BENCH_PR9.json``) records both
+The committed baseline (``results/bench/BENCH_PR10.json``) records both
 the machine-specific wall-clock numbers from the machine that produced
 it *and* machine-independent facts: the simulated-result digest per
 bench and the fast/compat speedup ratio. ``--check`` re-runs the
@@ -27,7 +27,7 @@ from typing import Callable
 from ..errors import ConfigError
 from .bench import MICROBENCHES, run_microbench
 
-BENCH_BASELINE_PATH = Path("results/bench/BENCH_PR9.json")
+BENCH_BASELINE_PATH = Path("results/bench/BENCH_PR10.json")
 SCHEMA = "repro.perfbench/v1"
 
 # CI runners are noisy shared machines; require only this fraction of

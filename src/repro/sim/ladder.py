@@ -420,6 +420,17 @@ def chain_values(x: float, vals: np.ndarray, cls: np.ndarray,
             fb = int(np.argmax(neg))
         else:
             fb = incs.shape[0]
+        if fb:
+            # Bound the stretch so M + cumsum cannot overflow int64:
+            # each increment is < 2**52, so a long stretch (tens of
+            # thousands of steps at a small ulp) can wrap negative and
+            # corrupt the binary search below.  Shorter stretches stay
+            # exact — the loop just takes another pass.
+            mx = int(incs[:fb].max())
+            if mx > 0:
+                safe = ((1 << 62) - M) // mx
+                if safe < fb:
+                    fb = max(1, int(safe))
         cs = M + np.cumsum(incs[:fb])
         stop = int(np.searchsorted(cs, TWO53, side="left"))
         if stop == 0:
